@@ -1,0 +1,49 @@
+"""Figure 6: qualitative characteristics of each pipeline model.
+
+Renders the 7-metric x 5-model matrix from the models' own metadata and
+checks the orderings the paper's prose commits to.
+"""
+
+from repro.core.models import CHARACTERISTIC_NAMES, registered_models
+from repro.harness.tables import format_table
+
+_LEVELS = {1: "poor", 2: "fair", 3: "good"}
+_FIG6_MODELS = ("rtc", "kbk", "megakernel", "coarse", "fine", "hybrid")
+
+
+def render_figure6() -> str:
+    models = registered_models()
+    headers = ["Characteristic"] + list(_FIG6_MODELS)
+    rows = []
+    for index, metric in enumerate(CHARACTERISTIC_NAMES):
+        letter = chr(ord("A") + index)
+        rows.append(
+            [f"{letter}. {metric}"]
+            + [
+                _LEVELS[getattr(models[m].characteristics, metric)]
+                for m in _FIG6_MODELS
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def test_fig6_characteristics(benchmark):
+    table = benchmark.pedantic(render_figure6, rounds=1, iterations=1)
+    print("\n=== Figure 6: model characteristics ===")
+    print(table)
+
+    models = registered_models()
+    get = lambda m: models[m].characteristics  # noqa: E731
+    # "no single model can outperform the other models in all metrics":
+    # every non-hybrid model has at least one poor/fair metric...
+    for name in ("rtc", "kbk", "megakernel", "coarse", "fine"):
+        assert min(get(name).as_row()) < 3, name
+    # ...and for every metric some model reaches 'good'.
+    for index, metric in enumerate(CHARACTERISTIC_NAMES):
+        assert any(
+            get(name).as_row()[index] == 3 for name in _FIG6_MODELS
+        ), metric
+    # Hybrid combines the strengths of all: good everywhere except the
+    # configuration effort the auto-tuner absorbs.
+    hybrid = get("hybrid").as_row()
+    assert hybrid[:-1] == (3,) * (len(CHARACTERISTIC_NAMES) - 1)

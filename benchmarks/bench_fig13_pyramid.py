@@ -1,0 +1,72 @@
+"""Figure 13: Image Pyramid time vs. number of input images.
+
+Four series, as in the paper: the sequential KBK baseline, "KBK with
+Stream" (4 concurrent lanes), Megakernel, and VersaPipe, swept over
+1..32 HD images.  The reproduced shape: KBK grows steeply and linearly,
+streams help by a bounded factor, and the persistent models stay flat and
+far below both — with the gap widening as images are added ("when the
+input size is small ... the performance difference is less prominent").
+"""
+
+from repro.core.executor import FunctionalExecutor
+from repro.core.models import HybridModel, KBKModel, MegakernelModel
+from repro.gpu import GPUDevice, K20C
+from repro.harness.tables import format_table
+from repro.workloads import pyramid
+
+IMAGE_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def _run(model_factory, params):
+    pipe = pyramid.build_pipeline(params)
+    device = GPUDevice(K20C)
+    result = model_factory(pipe).run(
+        pipe, device, FunctionalExecutor(pipe), pyramid.initial_items(params)
+    )
+    return result.time_ms
+
+
+def sweep():
+    series = {"KBK": [], "KBK+Stream": [], "Megakernel": [], "VersaPipe": []}
+    for count in IMAGE_COUNTS:
+        params = pyramid.PyramidParams(num_images=count)
+        series["KBK"].append(_run(lambda p: KBKModel(sequential=True), params))
+        series["KBK+Stream"].append(
+            _run(lambda p: KBKModel(sequential=True, lanes=4), params)
+        )
+        series["Megakernel"].append(_run(lambda p: MegakernelModel(), params))
+        series["VersaPipe"].append(
+            _run(
+                lambda p: HybridModel(
+                    pyramid.versapipe_config(p, K20C, params)
+                ),
+                params,
+            )
+        )
+    return series
+
+
+def test_fig13_pyramid_scaling(benchmark):
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["images"] + [str(c) for c in IMAGE_COUNTS]
+    rows = [
+        [name] + [f"{t:.3f}" for t in times] for name, times in series.items()
+    ]
+    print("\n=== Figure 13: Image Pyramid time (ms) vs input images ===")
+    print(format_table(headers, rows))
+
+    kbk, stream = series["KBK"], series["KBK+Stream"]
+    mega, versa = series["Megakernel"], series["VersaPipe"]
+    for index, count in enumerate(IMAGE_COUNTS):
+        # Ordering at every point: persistent models beat both KBK forms.
+        assert versa[index] < kbk[index]
+        assert mega[index] < kbk[index]
+        if count >= 4:
+            # Streams help KBK but don't catch the persistent models.
+            assert stream[index] < kbk[index]
+            assert versa[index] < stream[index]
+    # KBK grows roughly linearly with image count.
+    growth = kbk[-1] / kbk[0]
+    assert growth > 16, f"KBK should scale ~linearly, grew only {growth:.1f}x"
+    # The VersaPipe advantage widens with input size.
+    assert kbk[-1] / versa[-1] > kbk[0] / versa[0]

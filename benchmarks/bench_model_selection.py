@@ -1,0 +1,115 @@
+"""Quantifying Figure 6: which execution model wins where?
+
+The paper's Figure 6 is a qualitative matrix; with the synthetic pipeline
+generator we can measure it.  Two sweeps over a 3-stage pipeline:
+
+* **register pressure** — as per-stage registers grow, the fused models
+  (RTC, megakernel) lose occupancy while per-stage kernels keep theirs
+  ("hardware usage");
+* **fan-out** — as mid-pipeline data amplification grows, RTC's
+  one-thread-group-per-subtree execution collapses while queue-based
+  models redistribute the work ("load balance" / "task parallelism").
+
+The printed maps show the winning model per design point; assertions pin
+the paper's qualitative orderings.
+"""
+
+from repro.core.executor import FunctionalExecutor
+from repro.core.models import (
+    FinePipelineModel,
+    KBKModel,
+    MegakernelModel,
+    RTCModel,
+)
+from repro.gpu import GPUDevice, K20C
+from repro.harness.tables import format_table
+from repro.workloads import synthetic
+
+MODELS = {
+    "rtc": RTCModel,
+    "kbk": KBKModel,
+    "megakernel": MegakernelModel,
+    "fine": FinePipelineModel,
+}
+
+
+def run_point(params):
+    times = {}
+    for name, factory in MODELS.items():
+        pipeline = synthetic.build_pipeline(params)
+        device = GPUDevice(K20C)
+        result = factory().run(
+            pipeline,
+            device,
+            FunctionalExecutor(pipeline),
+            synthetic.initial_items(params),
+        )
+        low, high = synthetic.expected_output_range(params)
+        assert low <= len(result.outputs) <= high
+        times[name] = result.time_ms
+    return times
+
+
+def sweep_registers():
+    """One register-hungry middle stage between two light ones: fusion
+    pays the hungry stage's budget for *all* the work."""
+    rows = {}
+    for registers in (32, 96, 160, 224):
+        params = synthetic.SyntheticParams(
+            stages=(
+                synthetic.SyntheticStageSpec(registers_per_thread=32),
+                synthetic.SyntheticStageSpec(
+                    registers_per_thread=registers
+                ),
+                synthetic.SyntheticStageSpec(registers_per_thread=32),
+            ),
+            num_items=400,
+        )
+        rows[registers] = run_point(params)
+    return rows
+
+
+def sweep_fan_out():
+    rows = {}
+    for fan_out in (1.0, 2.0, 4.0):
+        params = synthetic.SyntheticParams.uniform(
+            num_stages=3, registers=64, fan_out=fan_out, num_items=80
+        )
+        rows[fan_out] = run_point(params)
+    return rows
+
+
+def _print_map(title, rows, key_label):
+    headers = [key_label] + list(MODELS) + ["winner"]
+    table = []
+    for key, times in rows.items():
+        winner = min(times, key=times.get)
+        table.append(
+            [key] + [f"{times[m]:.3f}" for m in MODELS] + [winner]
+        )
+    print(f"\n=== {title} (ms, K20c) ===")
+    print(format_table(headers, table))
+
+
+def test_register_pressure_map(benchmark):
+    rows = benchmark.pedantic(sweep_registers, rounds=1, iterations=1)
+    _print_map("Model map vs register pressure", rows, "regs")
+    # Fused models degrade with register pressure relative to per-stage
+    # kernels: the megakernel/fine ratio must grow monotonically in regs.
+    ratios = [
+        rows[r]["megakernel"] / rows[r]["fine"] for r in sorted(rows)
+    ]
+    assert ratios[-1] > ratios[0]
+    # At the highest pressure, per-stage kernels win outright.
+    heavy = rows[224]
+    assert heavy["fine"] < heavy["megakernel"]
+    assert heavy["fine"] < heavy["rtc"]
+
+
+def test_fan_out_map(benchmark):
+    rows = benchmark.pedantic(sweep_fan_out, rounds=1, iterations=1)
+    _print_map("Model map vs fan-out", rows, "fan")
+    # RTC executes each input's whole subtree on one thread group, so its
+    # disadvantage versus the megakernel grows with amplification.
+    ratios = [rows[f]["rtc"] / rows[f]["megakernel"] for f in sorted(rows)]
+    assert ratios[-1] > ratios[0]

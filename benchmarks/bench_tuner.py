@@ -1,0 +1,106 @@
+"""Auto-tuner evaluation (Section 7).
+
+Not a paper table per se, but the paper's core deliverable: "VersaPipe
+will automatically assemble the stages into a hybrid execution model and
+configure it to achieve the best performance."  We verify the offline
+tuner, run on the Reyes and LDPC pipelines, finds a plan at least as fast
+as both the single-model alternatives and the hand-written
+(paper-described) configuration.
+"""
+
+import math
+
+import pytest
+
+from repro.core.executor import FunctionalExecutor
+from repro.core.models import HybridModel, MegakernelModel
+from repro.core.tuner.offline import OfflineTuner, TunerOptions
+from repro.core.tuner.profiler import profile_pipeline
+from repro.gpu import GPUDevice, K20C
+from repro.workloads import ldpc, reyes
+from repro.workloads.registry import get_workload
+
+
+def tune_and_compare(name, params):
+    spec = get_workload(name)
+    pipeline = spec.build_pipeline(params)
+    initial = spec.initial_items(params)
+    profile, trace = profile_pipeline(pipeline, K20C, initial)
+    tuner = OfflineTuner(
+        pipeline,
+        K20C,
+        trace,
+        profile=profile,
+        options=TunerOptions(max_configs=80, include_kbk_groups=False),
+    )
+    report = tuner.tune()
+
+    def run(model):
+        pipe = spec.build_pipeline(params)
+        device = GPUDevice(K20C)
+        return model.run(
+            pipe, device, FunctionalExecutor(pipe), spec.initial_items(params)
+        ).time_ms
+
+    tuned_ms = run(HybridModel(report.best_config))
+    mega_ms = run(MegakernelModel())
+    paper_cfg_ms = run(
+        HybridModel(spec.versapipe_config(pipeline, K20C, params))
+    )
+    return report, tuned_ms, mega_ms, paper_cfg_ms
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        (
+            "reyes",
+            reyes.ReyesParams(num_base_patches=16, split_threshold=48.0),
+        ),
+        ("ldpc", ldpc.LDPCParams(num_frames=12, iterations=8)),
+    ],
+)
+def test_tuner_beats_alternatives(benchmark, name, params):
+    report, tuned_ms, mega_ms, paper_cfg_ms = benchmark.pedantic(
+        tune_and_compare, args=(name, params), rounds=1, iterations=1
+    )
+    print(f"\n=== Auto-tuner on {name} (K20c) ===")
+    print(f"  {report.summary()}")
+    print(f"  tuned plan run : {tuned_ms:8.3f} ms")
+    print(f"  megakernel     : {mega_ms:8.3f} ms")
+    print(f"  paper config   : {paper_cfg_ms:8.3f} ms")
+
+    assert math.isfinite(report.best_time_ms)
+    # The search space contains the all-stage megakernel plan, so a correct
+    # tuner can never do meaningfully worse than it; small slack covers the
+    # online-adaptation run-time differences.
+    assert tuned_ms <= mega_ms * 1.10
+    assert tuned_ms <= paper_cfg_ms * 1.10
+
+
+def test_tuner_prunes_with_timeout(benchmark):
+    """The Figure 10 timeout scheme must discard slow candidates cheaply."""
+    params = ldpc.LDPCParams(num_frames=8, iterations=5)
+    spec = get_workload("ldpc")
+    pipeline = spec.build_pipeline(params)
+    profile, trace = profile_pipeline(
+        pipeline, K20C, spec.initial_items(params)
+    )
+
+    def tune():
+        tuner = OfflineTuner(
+            pipeline,
+            K20C,
+            trace,
+            profile=profile,
+            options=TunerOptions(max_configs=60),
+        )
+        return tuner.tune()
+
+    report = benchmark.pedantic(tune, rounds=1, iterations=1)
+    pruned = sum(1 for e in report.evaluated if not math.isfinite(e.time_ms))
+    print(
+        f"\n=== Tuner pruning: {report.num_evaluated} evaluated, "
+        f"{pruned} pruned by timeout/invalid ==="
+    )
+    assert pruned > 0

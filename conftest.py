@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an editable install.
+
+The benchmark environment has no network access and lacks the ``wheel``
+package needed by ``pip install -e .``; inserting ``src`` on ``sys.path``
+here is the offline equivalent.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

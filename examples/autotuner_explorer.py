@@ -1,0 +1,63 @@
+"""Explore the auto-tuner's search space on the LDPC pipeline:
+
+    python examples/autotuner_explorer.py
+
+Profiles the pipeline (Section 7's profiling component), prints per-stage
+characteristics, then walks the offline tuner's candidate configurations
+and shows the ranking the Figure 10 search produces.
+"""
+
+import math
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import K20C
+from repro.core.tuner import OfflineTuner, TunerOptions, profile_pipeline
+from repro.workloads import ldpc
+
+
+def main():
+    params = ldpc.LDPCParams(num_frames=16, iterations=8)
+    pipeline = ldpc.build_pipeline(params)
+    initial = ldpc.initial_items(params)
+
+    profile, trace = profile_pipeline(pipeline, K20C, initial)
+    print("=== Profiling component ===")
+    print(f"{'stage':12s} {'tasks':>6s} {'mean cyc':>10s} "
+          f"{'blocks/SM':>10s} {'regs':>5s}")
+    for name, stage in profile.stages.items():
+        print(
+            f"{name:12s} {stage.tasks:6d} {stage.mean_cycles:10.0f} "
+            f"{stage.max_blocks_per_sm:10d} {stage.registers_per_thread:5d}"
+        )
+    print(f"total tasks recorded: {profile.total_tasks}")
+
+    print("\n=== Offline tuner (Figure 10 search) ===")
+    tuner = OfflineTuner(
+        pipeline,
+        K20C,
+        trace,
+        profile=profile,
+        options=TunerOptions(max_configs=60, include_kbk_groups=False),
+    )
+    report = tuner.tune()
+
+    completed = sorted(
+        (e for e in report.evaluated if math.isfinite(e.time_ms)),
+        key=lambda e: e.time_ms,
+    )
+    pruned = sum(1 for e in report.evaluated if not math.isfinite(e.time_ms))
+    print(f"evaluated {report.num_evaluated} configurations "
+          f"({pruned} pruned by the shrinking timeout)")
+    print("\nbest configurations:")
+    for entry in completed[:5]:
+        print(f"  {entry.time_ms:8.3f} ms  {entry.config.describe()}")
+    print(f"\nchosen plan: {report.best_config.describe()}")
+    print(f"online adaptation enabled: "
+          f"{report.best_config.online_adaptation}")
+
+
+if __name__ == "__main__":
+    main()

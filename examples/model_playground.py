@@ -1,0 +1,99 @@
+"""Explore the execution-model design space with synthetic pipelines:
+
+    python examples/model_playground.py
+
+Generates pipelines with a register-hungry middle stage, growing fan-out,
+and cost imbalance, and shows how each execution model's time responds —
+an interactive companion to Figure 6 and to
+``benchmarks/bench_model_selection.py``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import K20C, FunctionalExecutor, GPUDevice
+from repro.core.models import (
+    CoarsePipelineModel,
+    FinePipelineModel,
+    KBKModel,
+    MegakernelModel,
+    RTCModel,
+)
+from repro.workloads import synthetic
+
+MODELS = [
+    ("rtc", RTCModel),
+    ("kbk", KBKModel),
+    ("megakernel", MegakernelModel),
+    ("coarse", CoarsePipelineModel),
+    ("fine", FinePipelineModel),
+]
+
+
+def measure(params):
+    row = {}
+    for name, factory in MODELS:
+        pipeline = synthetic.build_pipeline(params)
+        device = GPUDevice(K20C)
+        result = factory().run(
+            pipeline,
+            device,
+            FunctionalExecutor(pipeline),
+            synthetic.initial_items(params),
+        )
+        row[name] = result.time_ms
+    return row
+
+
+def show(title, rows, key_name):
+    print(f"\n=== {title} ===")
+    header = f"{key_name:>10s}" + "".join(
+        f"{name:>12s}" for name, _ in MODELS
+    )
+    print(header)
+    for key, row in rows.items():
+        line = f"{key!s:>10s}" + "".join(
+            f"{row[name]:12.3f}" for name, _ in MODELS
+        )
+        winner = min(row, key=row.get)
+        print(f"{line}   <- {winner}")
+
+
+def main():
+    rows = {}
+    for regs in (32, 128, 224):
+        rows[regs] = measure(
+            synthetic.SyntheticParams(
+                stages=(
+                    synthetic.SyntheticStageSpec(registers_per_thread=32),
+                    synthetic.SyntheticStageSpec(registers_per_thread=regs),
+                    synthetic.SyntheticStageSpec(registers_per_thread=32),
+                ),
+                num_items=300,
+            )
+        )
+    show("middle-stage register pressure (ms)", rows, "regs")
+
+    rows = {}
+    for fan in (1.0, 2.0, 4.0):
+        rows[fan] = measure(
+            synthetic.SyntheticParams.uniform(
+                num_stages=3, fan_out=fan, num_items=60
+            )
+        )
+    show("fan-out per stage (ms)", rows, "fan")
+
+    rows = {}
+    for imbalance in (0.0, 0.5, 0.9):
+        rows[imbalance] = measure(
+            synthetic.SyntheticParams.uniform(
+                num_stages=3, imbalance=imbalance, num_items=300
+            )
+        )
+    show("task-cost imbalance (ms)", rows, "spread")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Reyes rendering under every execution model (the paper's Figure 1
+pipeline and Section 8.3 analysis):
+
+    python examples/reyes_rendering.py
+
+Renders the synthetic teapot-like scene through Split -> Dice -> Shade and
+compares KBK, Megakernel, the two new SM-bound models, VersaPipe's hybrid
+plan, and dynamic parallelism — printing resident-block counts, launch
+counts, and simulated times.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import K20C, FunctionalExecutor, GPUDevice
+from repro.core.models import (
+    CoarsePipelineModel,
+    DynamicParallelismModel,
+    FinePipelineModel,
+    HybridModel,
+    KBKModel,
+    MegakernelModel,
+)
+from repro.workloads import reyes
+
+
+def main():
+    params = reyes.ReyesParams(num_base_patches=16, split_threshold=48.0)
+    leaves = reyes.reference_leaf_count(params)
+    print(
+        f"scene: {params.num_base_patches} base patches -> {leaves} diced "
+        f"grids of {params.grid}x{params.grid} micropolygons"
+    )
+
+    pipeline = reyes.build_pipeline(params)
+    models = [
+        ("kernel-by-kernel", KBKModel(
+            host_bytes_per_wave=reyes.KBK_HOST_BYTES_PER_WAVE)),
+        ("megakernel", MegakernelModel()),
+        ("coarse pipeline", CoarsePipelineModel(
+            weights={"split": 1.0, "dice": 6.0, "shade": 3.0})),
+        ("fine pipeline", FinePipelineModel(
+            block_map={"split": 1, "dice": 1})),
+        ("versapipe hybrid", HybridModel(
+            reyes.versapipe_config(pipeline, K20C, params))),
+        ("dynamic parallelism", DynamicParallelismModel()),
+    ]
+
+    print(f"\n{'model':22s} {'time (ms)':>10s} {'launches':>9s} "
+          f"{'peak blocks':>12s}")
+    for name, model in models:
+        pipe = reyes.build_pipeline(params)
+        device = GPUDevice(K20C)
+        try:
+            result = model.run(
+                pipe,
+                device,
+                FunctionalExecutor(pipe),
+                reyes.initial_items(params),
+            )
+        except Exception as exc:  # fine map may not fit some devices
+            print(f"{name:22s} {'-':>10s}  ({exc})")
+            continue
+        reyes.check_outputs(params, result.outputs)
+        print(
+            f"{name:22s} {result.time_ms:10.3f} "
+            f"{result.device_metrics.kernel_launches:9d} "
+            f"{result.device_metrics.peak_resident_blocks:12d}"
+        )
+
+    # Show one shaded grid, proving real geometry flowed through.
+    pipe = reyes.build_pipeline(params)
+    device = GPUDevice(K20C)
+    result = MegakernelModel().run(
+        pipe, device, FunctionalExecutor(pipe), reyes.initial_items(params)
+    )
+    sample = sorted(result.outputs, key=lambda g: g.patch_id)[0]
+    print(
+        f"\nsample grid {sample.patch_id}: {sample.num_micropolygons} "
+        f"micropolygons, mean colour "
+        f"({sample.mean_color[0]:.2f}, {sample.mean_color[1]:.2f}, "
+        f"{sample.mean_color[2]:.2f}), depth {sample.mean_depth:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""VersaPipe reproduction: a versatile programming framework for pipelined
+computing on (simulated) GPUs.
+
+Reproduces Zheng et al., *"VersaPipe: A Versatile Programming Framework for
+Pipelined Computing on GPU"* (MICRO-50, 2017) as a pure-Python system:
+
+* :mod:`repro.gpu` — a deterministic discrete-event GPU simulator
+  (the hardware substitute; see DESIGN.md);
+* :mod:`repro.core` — the VersaPipe framework: the stage/pipeline API, six
+  execution models (RTC, KBK, Megakernel, coarse, fine, hybrid, plus
+  dynamic parallelism), work queues, SM/block mapping, and the auto-tuner;
+* :mod:`repro.workloads` — the six evaluated applications, implemented for
+  real (image pyramid, LBP face detection, Reyes rendering, a CFD Euler
+  solver, a software rasteriser, an LDPC decoder);
+* :mod:`repro.harness` — the evaluation harness regenerating the paper's
+  tables and figures.
+
+Quickstart::
+
+    from repro import Pipeline, Stage, TaskCost, OUTPUT, VersaPipe, K20C
+
+    class Double(Stage):
+        name = "double"
+        emits_to = (OUTPUT,)
+        def execute(self, item, ctx):
+            ctx.emit_output(item * 2)
+        def cost(self, item):
+            return TaskCost(1000.0)
+
+    vp = VersaPipe(Pipeline([Double()]), spec=K20C)
+    vp.insert_into_queue("double", [1, 2, 3])
+    print(vp.run().outputs)
+"""
+
+from .core import (
+    OUTPUT,
+    ConfigurationError,
+    EmitContext,
+    ExecutionError,
+    FunctionalExecutor,
+    GroupConfig,
+    ModelNotApplicableError,
+    Pipeline,
+    PipelineConfig,
+    PipelineDefinitionError,
+    RecordingExecutor,
+    ReplayExecutor,
+    RunResult,
+    Stage,
+    TaskCost,
+    Trace,
+    VersaPipeError,
+)
+from .core.framework import VersaPipe
+from .core.tuner import OfflineTuner, TunerOptions, profile_pipeline
+from .gpu import GTX1080, K20C, GPUDevice, GPUSpec, KernelSpec, get_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "EmitContext",
+    "ExecutionError",
+    "FunctionalExecutor",
+    "GPUDevice",
+    "GPUSpec",
+    "GTX1080",
+    "GroupConfig",
+    "K20C",
+    "KernelSpec",
+    "ModelNotApplicableError",
+    "OUTPUT",
+    "OfflineTuner",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineDefinitionError",
+    "RecordingExecutor",
+    "ReplayExecutor",
+    "RunResult",
+    "Stage",
+    "TaskCost",
+    "Trace",
+    "TunerOptions",
+    "VersaPipe",
+    "VersaPipeError",
+    "get_spec",
+    "profile_pipeline",
+]

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show the registered workloads (Table 1) and devices;
+* ``run`` — run one workload under one execution model on one device;
+* ``compare`` — baseline vs megakernel vs VersaPipe for a workload
+  (one Table 2 row);
+* ``tune`` — profile a workload and run the offline auto-tuner;
+* ``timeline`` — run with tracing and print the SM Gantt chart.
+
+All commands use the workloads' quick parameters by default; pass
+``--full`` for the paper-scale defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.executor import FunctionalExecutor
+from .core.models import (
+    CoarsePipelineModel,
+    DynamicParallelismModel,
+    FinePipelineModel,
+    HybridModel,
+    KBKModel,
+    MegakernelModel,
+    RTCModel,
+)
+from .core.tuner.offline import OfflineTuner, TunerOptions
+from .core.tuner.profiler import profile_pipeline
+from .gpu.device import GPUDevice
+from .gpu.specs import PRESETS, get_spec
+from .gpu.tracing import render_timeline
+from .workloads.registry import all_workloads, get_workload
+
+_MODEL_CHOICES = (
+    "rtc",
+    "kbk",
+    "megakernel",
+    "coarse",
+    "fine",
+    "versapipe",
+    "dynamic_parallelism",
+    "baseline",
+)
+
+
+def _params(spec, args):
+    return spec.default_params() if args.full else spec.quick_params()
+
+
+def _build_model(name, spec, pipeline, gpu, params):
+    if name == "rtc":
+        return RTCModel()
+    if name == "kbk":
+        return KBKModel()
+    if name == "baseline":
+        return spec.baseline_model(params)
+    if name == "megakernel":
+        return MegakernelModel()
+    if name == "coarse":
+        return CoarsePipelineModel()
+    if name == "fine":
+        return FinePipelineModel()
+    if name == "dynamic_parallelism":
+        return DynamicParallelismModel()
+    if name == "versapipe":
+        return HybridModel(spec.versapipe_config(pipeline, gpu, params))
+    raise ValueError(name)
+
+
+def _run_once(spec, model_name, gpu, params, trace=False):
+    pipeline = spec.build_pipeline(params)
+    model = _build_model(model_name, spec, pipeline, gpu, params)
+    device = GPUDevice(gpu)
+    tracer = device.enable_tracing() if trace else None
+    result = model.run(
+        pipeline,
+        device,
+        FunctionalExecutor(pipeline),
+        spec.initial_items(params),
+    )
+    spec.check_outputs(params, result.outputs)
+    return result, tracer
+
+
+def cmd_list(args) -> int:
+    print(f"{'workload':16s} {'stages':>6s} {'structure':>10s} "
+          f"{'pattern':>8s}  description")
+    for name, spec in sorted(all_workloads().items()):
+        print(
+            f"{name:16s} {spec.stage_count:6d} {spec.structure:>10s} "
+            f"{spec.workload_pattern:>8s}  {spec.description}"
+        )
+    print(f"\ndevices: {', '.join(sorted(PRESETS))}")
+    print(f"models: {', '.join(_MODEL_CHOICES)}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    spec = get_workload(args.workload)
+    gpu = get_spec(args.device)
+    params = _params(spec, args)
+    result, _ = _run_once(spec, args.model, gpu, params)
+    print(
+        f"{args.workload} / {args.model} on {gpu.name}: "
+        f"{result.time_ms:.3f} ms simulated"
+    )
+    print(
+        f"  launches={result.device_metrics.kernel_launches} "
+        f"blocks={result.device_metrics.blocks_launched} "
+        f"outputs={len(result.outputs)}"
+    )
+    if result.config_description:
+        print(f"  config: {result.config_description}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    spec = get_workload(args.workload)
+    gpu = get_spec(args.device)
+    params = _params(spec, args)
+    print(f"{args.workload} on {gpu.name} "
+          f"({'paper-scale' if args.full else 'quick'} parameters):")
+    rows = []
+    for model_name in ("baseline", "megakernel", "versapipe"):
+        result, _ = _run_once(spec, model_name, gpu, params)
+        rows.append((model_name, result.time_ms))
+        print(f"  {model_name:12s} {result.time_ms:10.3f} ms")
+    base = rows[0][1]
+    for model_name, time_ms in rows[1:]:
+        print(f"  -> {model_name} speedup over baseline: "
+              f"{base / time_ms:.2f}x")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    spec = get_workload(args.workload)
+    gpu = get_spec(args.device)
+    params = _params(spec, args)
+    pipeline = spec.build_pipeline(params)
+    profile, trace = profile_pipeline(
+        pipeline, gpu, spec.initial_items(params)
+    )
+    print(f"profiled {profile.total_tasks} tasks")
+    tuner = OfflineTuner(
+        pipeline,
+        gpu,
+        trace,
+        profile=profile,
+        options=TunerOptions(max_configs=args.budget),
+    )
+    report = tuner.tune()
+    print(report.summary())
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    spec = get_workload(args.workload)
+    gpu = get_spec(args.device)
+    params = _params(spec, args)
+    result, tracer = _run_once(spec, args.model, gpu, params, trace=True)
+    print(
+        f"{args.workload} / {args.model} on {gpu.name}: "
+        f"{result.time_ms:.3f} ms"
+    )
+    print(render_timeline(tracer, gpu.num_sms, clock_ghz=gpu.clock_ghz))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VersaPipe reproduction: pipelined computing on a "
+        "simulated GPU",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads, devices and models")
+
+    def add_common(p):
+        p.add_argument("workload", help="workload name (see `list`)")
+        p.add_argument(
+            "--device", default="K20c", help="GPU preset (default K20c)"
+        )
+        p.add_argument(
+            "--full",
+            action="store_true",
+            help="use paper-scale parameters instead of quick ones",
+        )
+
+    run = sub.add_parser("run", help="run one workload under one model")
+    add_common(run)
+    run.add_argument(
+        "--model", default="versapipe", choices=_MODEL_CHOICES
+    )
+
+    compare = sub.add_parser(
+        "compare", help="baseline vs megakernel vs versapipe"
+    )
+    add_common(compare)
+
+    tune = sub.add_parser("tune", help="run the offline auto-tuner")
+    add_common(tune)
+    tune.add_argument(
+        "--budget", type=int, default=80, help="max configurations to try"
+    )
+
+    timeline = sub.add_parser(
+        "timeline", help="run with tracing and print an SM Gantt chart"
+    )
+    add_common(timeline)
+    timeline.add_argument(
+        "--model", default="versapipe", choices=_MODEL_CHOICES
+    )
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "tune": cmd_tune,
+    "timeline": cmd_timeline,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

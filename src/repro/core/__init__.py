@@ -1,0 +1,55 @@
+"""VersaPipe core: the paper's programming framework.
+
+Public surface:
+
+* :class:`~repro.core.stage.Stage` / :data:`~repro.core.stage.OUTPUT` /
+  :class:`~repro.core.stage.TaskCost` — the stage-author API;
+* :class:`~repro.core.pipeline.Pipeline` — the pipeline graph;
+* :mod:`repro.core.models` — the execution models;
+* :class:`~repro.core.config.PipelineConfig` — hybrid execution plans;
+* :class:`~repro.core.framework.VersaPipe` — the facade that profiles,
+  auto-tunes and runs a pipeline (see :mod:`repro.core.tuner`).
+"""
+
+from .config import GroupConfig, PipelineConfig
+from .errors import (
+    ConfigurationError,
+    ExecutionError,
+    ModelNotApplicableError,
+    PipelineDefinitionError,
+    VersaPipeError,
+)
+from .executor import (
+    ExecResult,
+    Executor,
+    FunctionalExecutor,
+    RecordingExecutor,
+    ReplayExecutor,
+)
+from .pipeline import Pipeline
+from .result import RunResult
+from .stage import OUTPUT, EmitContext, Stage, TaskCost
+from .trace import Trace, TraceNode
+
+__all__ = [
+    "ConfigurationError",
+    "EmitContext",
+    "ExecResult",
+    "ExecutionError",
+    "Executor",
+    "FunctionalExecutor",
+    "GroupConfig",
+    "ModelNotApplicableError",
+    "OUTPUT",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineDefinitionError",
+    "RecordingExecutor",
+    "ReplayExecutor",
+    "RunResult",
+    "Stage",
+    "TaskCost",
+    "Trace",
+    "TraceNode",
+    "VersaPipeError",
+]

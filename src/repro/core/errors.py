@@ -1,0 +1,29 @@
+"""Exception hierarchy for the VersaPipe framework."""
+
+from __future__ import annotations
+
+
+class VersaPipeError(Exception):
+    """Base class for all framework errors."""
+
+
+class PipelineDefinitionError(VersaPipeError):
+    """The pipeline graph is malformed (unknown stage, bad emits_to, ...)."""
+
+
+class ModelNotApplicableError(VersaPipeError):
+    """An execution model cannot run the given pipeline.
+
+    Mirrors the paper's *applicability* metric (Figure 6): e.g. RTC cannot
+    execute pipelines that need global synchronisation between stages.
+    """
+
+
+class ConfigurationError(VersaPipeError):
+    """An execution-model configuration is invalid (overlapping SM sets,
+    infeasible block mapping, unknown stages, ...)."""
+
+
+class ExecutionError(VersaPipeError):
+    """A stage misbehaved at run time (emitted to an undeclared target,
+    produced an invalid cost, ...)."""

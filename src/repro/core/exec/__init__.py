@@ -1,0 +1,1 @@
+"""Execution machinery shared by the execution models."""

@@ -1,0 +1,287 @@
+"""Persistent-thread group runner.
+
+Implements the paper's software-scheduled execution (Megakernel, coarse
+pipeline, fine pipeline, and RTC-fused groups inside a hybrid plan):
+
+* a group's stages are compiled into one fused kernel (``megakernel`` /
+  ``rtc``) or one kernel per stage (``fine``);
+* exactly as many persistent blocks are launched as fit the group's SMs
+  (occupancy-derived for fused kernels, block-map-derived for fine);
+* every block loops — fetch a batch from a work queue, execute, push the
+  results — until its watched stages are quiescent (the simulator's
+  equivalent of the done-flag a real persistent kernel polls);
+* SM binding uses the hardware scheduler's SM filters, the simulator-level
+  stand-in for the SM-centric transformation (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...gpu.block import Compute, Delay, ThreadBlock, Wait
+from ...gpu.kernel import KernelSpec, fuse_specs
+from ...gpu.occupancy import max_blocks_per_sm
+from ...gpu.scheduler import KernelLaunch, Stream
+from ..config import GroupConfig
+from ..errors import ConfigurationError
+from ..runcontext import RunContext
+from ..stage import TaskCost
+
+
+def locality_adjusted(
+    cost: TaskCost, producer_sm: Optional[int], current_sm: int, l1_bonus: float
+) -> float:
+    """Cycle cost of a task given where its input item was produced.
+
+    When the producer ran on the same SM, the memory-bound fraction of the
+    cost is discounted — the fine pipeline's L1-locality benefit.
+    """
+    cycles = cost.cycles_per_thread
+    if producer_sm is not None and producer_sm == current_sm:
+        cycles *= 1.0 - cost.mem_fraction * l1_bonus
+    return cycles
+
+
+class PersistentGroupRunner:
+    """Launches and drives the persistent kernels of one stage group."""
+
+    def __init__(self, ctx: RunContext, group: GroupConfig) -> None:
+        if group.model not in ("megakernel", "rtc", "fine"):
+            raise ConfigurationError(
+                f"PersistentGroupRunner cannot run model {group.model!r}"
+            )
+        self.ctx = ctx
+        self.group = group
+        self.device = ctx.device
+        self.pipeline = ctx.pipeline
+        self.launches: list[KernelLaunch] = []
+        self.total_blocks = 0
+        self._finished_blocks = 0
+        self.on_all_blocks_exited = None  # online-tuner hook
+
+    # ------------------------------------------------------------------
+    # Launch plan.
+    # ------------------------------------------------------------------
+    #: Code size of the persistent scheduling loop added to fused kernels.
+    SCHEDULER_CODE_BYTES = 1536
+
+    def fused_kernel(self) -> KernelSpec:
+        specs = [self.pipeline.stage(s).kernel_spec() for s in self.group.stages]
+        prefix = "mk" if self.group.model == "megakernel" else "rtc"
+        fused = fuse_specs(specs, name=f"{prefix}:{'+'.join(self.group.stages)}")
+        if len(self.group.stages) > 1:
+            fused = KernelSpec(
+                name=fused.name,
+                registers_per_thread=fused.registers_per_thread,
+                threads_per_block=fused.threads_per_block,
+                shared_mem_per_block=fused.shared_mem_per_block,
+                code_bytes=fused.code_bytes + self.SCHEDULER_CODE_BYTES,
+            )
+        if (
+            self.pipeline.fused_registers is not None
+            and set(self.group.stages) == set(self.pipeline.stage_names)
+        ):
+            fused = KernelSpec(
+                name=fused.name,
+                registers_per_thread=max(
+                    fused.registers_per_thread, self.pipeline.fused_registers
+                ),
+                threads_per_block=fused.threads_per_block,
+                shared_mem_per_block=fused.shared_mem_per_block,
+                code_bytes=fused.code_bytes,
+            )
+        return fused
+
+    def launch(self) -> None:
+        if self.group.model == "fine":
+            self._launch_fine()
+        else:
+            self._launch_fused()
+
+    def _launch_fused(self) -> None:
+        kernel = self.fused_kernel()
+        per_sm = max_blocks_per_sm(kernel, self.device.spec)
+        if per_sm == 0:
+            raise ConfigurationError(
+                f"kernel {kernel.name} does not fit on one SM at all"
+            )
+        num_blocks = per_sm * len(self.group.sm_ids)
+        stream = self.device.create_stream()
+        watch = tuple(self.group.stages)
+        inline = self.group.model == "rtc"
+        launch = self.device.launch(
+            kernel,
+            lambda block: self._program(block, kernel, watch, inline),
+            num_blocks=num_blocks,
+            stream=stream,
+            sm_filter=frozenset(self.group.sm_ids),
+        )
+        self.launches.append(launch)
+        self.total_blocks += num_blocks
+
+    def _launch_fine(self) -> None:
+        for stage_name in self.group.stages:
+            stage = self.pipeline.stage(stage_name)
+            kernel = stage.kernel_spec()
+            count = self.group.block_map[stage_name]
+            per_block_sm = []
+            for sm in self.group.sm_ids:
+                per_block_sm.extend([frozenset({sm})] * count)
+            stream = self.device.create_stream()
+            watch = (stage_name,)
+            launch = self.device.launch(
+                kernel,
+                lambda block, k=kernel, w=watch: self._program(block, k, w, False),
+                num_blocks=len(per_block_sm),
+                stream=stream,
+                per_block_sm=per_block_sm,
+            )
+            self.launches.append(launch)
+            self.total_blocks += len(per_block_sm)
+
+    def add_blocks(self, stages: tuple[str, ...], sm_ids: Iterable[int]) -> None:
+        """Launch extra persistent blocks for this group on freed SMs
+        (online adaptation, Section 7)."""
+        sm_ids = tuple(sm_ids)
+        if not sm_ids:
+            return
+        if self.group.model == "fine":
+            for stage_name in stages:
+                kernel = self.pipeline.stage(stage_name).kernel_spec()
+                count = self.group.block_map[stage_name]
+                per_block_sm = []
+                for sm in sm_ids:
+                    per_block_sm.extend([frozenset({sm})] * count)
+                launch = self.device.launch(
+                    kernel,
+                    lambda block, k=kernel, w=(stage_name,): self._program(
+                        block, k, w, False
+                    ),
+                    num_blocks=len(per_block_sm),
+                    stream=self.device.create_stream(),
+                    per_block_sm=per_block_sm,
+                )
+                self.launches.append(launch)
+                self.total_blocks += len(per_block_sm)
+            return
+        kernel = self.fused_kernel()
+        per_sm = max_blocks_per_sm(kernel, self.device.spec)
+        launch = self.device.launch(
+            kernel,
+            lambda block: self._program(
+                block, kernel, tuple(self.group.stages), self.group.model == "rtc"
+            ),
+            num_blocks=per_sm * len(sm_ids),
+            stream=self.device.create_stream(),
+            sm_filter=frozenset(sm_ids),
+        )
+        self.launches.append(launch)
+        self.total_blocks += per_sm * len(sm_ids)
+
+    # ------------------------------------------------------------------
+    # The persistent block program.
+    # ------------------------------------------------------------------
+    def _capacity(self, kernel: KernelSpec):
+        def capacity(stage_name: str) -> int:
+            stage = self.pipeline.stage(stage_name)
+            return max(1, kernel.threads_per_block // stage.threads_per_item)
+
+        return capacity
+
+    def _program(
+        self,
+        block: ThreadBlock,
+        kernel: KernelSpec,
+        watch: tuple[str, ...],
+        inline: bool,
+    ):
+        ctx = self.ctx
+        spec = self.device.spec
+        capacity = self._capacity(kernel)
+        inline_set = frozenset(self.group.stages)
+        while True:
+            fetched = yield Wait(
+                lambda resume: ctx.fetch_async(
+                    watch,
+                    capacity,
+                    resume,
+                    waiter_key=block.block_id,
+                    sm_id=block.sm.sm_id,
+                )
+            )
+            if fetched is None:
+                break  # quiescent: the persistent loop's exit condition
+            stage_name, qitems, fetch_cost = fetched
+            yield Delay(fetch_cost)
+            sm_id = block.sm.sm_id
+            stage = self.pipeline.stage(stage_name)
+
+            work = 0.0
+            min_cycles = 0.0
+            active_threads = 0
+            children: list[tuple[str, object]] = []
+            outputs: list[object] = []
+            per_stage_tasks: dict[str, int] = {}
+            per_stage_cycles: dict[str, float] = {}
+
+            if inline:
+                for qitem in qitems:
+                    result = ctx.executor.run_inline(
+                        stage_name, qitem.payload, inline_set
+                    )
+                    for task in result.tasks:
+                        tstage = self.pipeline.stage(task.stage)
+                        cycles = locality_adjusted(
+                            task.cost, qitem.producer_sm, sm_id, spec.l1_locality_bonus
+                        )
+                        work += cycles * tstage.threads_per_item
+                        per_stage_tasks[task.stage] = (
+                            per_stage_tasks.get(task.stage, 0) + 1
+                        )
+                        per_stage_cycles[task.stage] = (
+                            per_stage_cycles.get(task.stage, 0.0) + cycles
+                        )
+                    min_cycles = max(min_cycles, result.chain_floor_cycles)
+                    active_threads += stage.threads_per_item
+                    children.extend(result.children)
+                    outputs.extend(result.outputs)
+            else:
+                for qitem in qitems:
+                    result = ctx.executor.run_task(stage_name, qitem.payload)
+                    cycles = locality_adjusted(
+                        result.cost, qitem.producer_sm, sm_id, spec.l1_locality_bonus
+                    )
+                    work += cycles * stage.threads_per_item
+                    min_cycles = max(min_cycles, cycles, result.cost.min_cycles)
+                    active_threads += stage.threads_per_item
+                    children.extend(result.children)
+                    outputs.extend(result.outputs)
+                    per_stage_tasks[stage_name] = (
+                        per_stage_tasks.get(stage_name, 0) + 1
+                    )
+                    per_stage_cycles[stage_name] = (
+                        per_stage_cycles.get(stage_name, 0.0) + cycles
+                    )
+
+            active_threads = min(active_threads, kernel.threads_per_block)
+            if work > 0:
+                yield Compute(
+                    cycles_per_thread=work / active_threads,
+                    threads=active_threads,
+                    min_cycles=min_cycles,
+                )
+            push = ctx.push_cost(children)
+            if push > 0:
+                yield Delay(push)
+            ctx.enqueue_children(children, producer_sm=sm_id)
+            ctx.add_outputs(outputs)
+            for tstage, count in per_stage_tasks.items():
+                ctx.note_stage_work(tstage, count, per_stage_cycles[tstage])
+            ctx.complete_tasks(stage_name, len(qitems))
+            self.device.note_residency()
+        self._finished_blocks += 1
+        if (
+            self._finished_blocks == self.total_blocks
+            and self.on_all_blocks_exited is not None
+        ):
+            self.on_all_blocks_exited(self)

@@ -1,0 +1,211 @@
+"""Task executors: functional, recording, and trace-replay.
+
+Execution models are written against the :class:`Executor` interface so the
+same scheduling code can either run the *real* stage computations (and
+produce real outputs) or replay a recorded :class:`~repro.core.trace.Trace`
+(for the auto-tuner's fast configuration search).
+
+An executor defines the in-flight item representation:
+
+* functional — the raw payload objects the stages produce;
+* recording — ``(node_id, payload)`` pairs so the task graph can be saved;
+* replay — bare trace node ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .errors import ExecutionError
+from .pipeline import Pipeline
+from .stage import EmitContext, TaskCost
+from .trace import Trace, TraceNode
+
+
+@dataclass
+class ExecResult:
+    """Outcome of processing one item at one stage."""
+
+    cost: TaskCost
+    children: list[tuple[str, object]]
+    outputs: list[object]
+
+
+@dataclass
+class InlineTask:
+    """One task executed as part of an inlined (fused-stage) run."""
+
+    stage: str
+    cost: TaskCost
+    #: Emission depth below the entry task (0 = the entry itself).
+    depth: int = 0
+
+
+@dataclass
+class InlineResult:
+    """Outcome of running an item through a fused set of stages."""
+
+    tasks: list[InlineTask]
+    children: list[tuple[str, object]]
+    outputs: list[object]
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(t.cost.cycles_per_thread for t in self.tasks)
+
+    @property
+    def chain_floor_cycles(self) -> float:
+        """Wall-clock lower bound of the inlined execution.
+
+        Fused kernels process an item's emission tree level by level:
+        tasks at the same depth run in parallel on the block's thread
+        groups, consecutive depths serialise.  The floor is therefore the
+        sum over depths of the most expensive task at that depth.
+        """
+        by_depth: dict[int, float] = {}
+        for task in self.tasks:
+            floor = task.cost.floor_cycles
+            if floor > by_depth.get(task.depth, 0.0):
+                by_depth[task.depth] = floor
+        return sum(by_depth.values())
+
+
+class Executor:
+    """Interface between scheduling code and stage computations."""
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+
+    def wrap_initial(self, stage: str, payload: object) -> object:
+        """Convert a user payload into this executor's item representation."""
+        raise NotImplementedError
+
+    def run_task(self, stage: str, item: object) -> ExecResult:
+        """Process ``item`` at ``stage``; returns cost, children, outputs."""
+        raise NotImplementedError
+
+    def run_inline(
+        self, stage: str, item: object, inline_set: frozenset[str]
+    ) -> InlineResult:
+        """Run ``item`` through ``stage`` and recursively through any
+        emitted children whose target stage is in ``inline_set`` (depth
+        first, deterministic order).  Children targeting stages outside the
+        set — and all sink outputs — are returned for the caller to route.
+        """
+        tasks: list[InlineTask] = []
+        children_out: list[tuple[str, object]] = []
+        outputs: list[object] = []
+        stack: list[tuple[str, object, int]] = [(stage, item, 0)]
+        while stack:
+            cur_stage, cur_item, depth = stack.pop()
+            result = self.run_task(cur_stage, cur_item)
+            tasks.append(
+                InlineTask(stage=cur_stage, cost=result.cost, depth=depth)
+            )
+            outputs.extend(result.outputs)
+            # Reverse so the first-emitted child is processed first (DFS).
+            for target, child in reversed(result.children):
+                if target in inline_set:
+                    stack.append((target, child, depth + 1))
+                else:
+                    children_out.append((target, child))
+        return InlineResult(tasks=tasks, children=children_out, outputs=outputs)
+
+
+class FunctionalExecutor(Executor):
+    """Runs the real stage code on raw payloads."""
+
+    def wrap_initial(self, stage: str, payload: object) -> object:
+        return payload
+
+    def run_task(self, stage: str, item: object) -> ExecResult:
+        stage_obj = self.pipeline.stage(stage)
+        ctx = EmitContext(stage_obj.emits_to)
+        stage_obj.execute(item, ctx)
+        cost = stage_obj.cost(item)
+        if not isinstance(cost, TaskCost):
+            raise ExecutionError(
+                f"stage {stage!r} returned {type(cost).__name__} from cost(); "
+                "expected TaskCost"
+            )
+        return ExecResult(cost=cost, children=ctx.children, outputs=ctx.outputs)
+
+
+class RecordingExecutor(Executor):
+    """Runs the real stage code while recording the task graph.
+
+    In-flight items are ``(node_id, payload)`` pairs; the trace is available
+    as :attr:`trace` once the run completes.
+    """
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        super().__init__(pipeline)
+        self._functional = FunctionalExecutor(pipeline)
+        self.trace = Trace()
+
+    def _new_node_id(self) -> int:
+        self.trace.nodes.append(None)  # placeholder, filled on completion
+        return len(self.trace.nodes) - 1
+
+    def wrap_initial(self, stage: str, payload: object) -> object:
+        node_id = self._new_node_id()
+        self.trace.initial.setdefault(stage, []).append(node_id)
+        return (node_id, payload)
+
+    def run_task(self, stage: str, item: object) -> ExecResult:
+        node_id, payload = item
+        result = self._functional.run_task(stage, payload)
+        child_items: list[tuple[str, object]] = []
+        child_ids: list[int] = []
+        for target, child_payload in result.children:
+            child_id = self._new_node_id()
+            child_ids.append(child_id)
+            child_items.append((target, (child_id, child_payload)))
+        self.trace.nodes[node_id] = TraceNode(
+            node_id=node_id,
+            stage=stage,
+            cost=result.cost,
+            children=tuple(child_ids),
+            n_outputs=len(result.outputs),
+        )
+        return ExecResult(
+            cost=result.cost, children=child_items, outputs=result.outputs
+        )
+
+
+class ReplayExecutor(Executor):
+    """Replays a recorded trace; items are node ids, no real work runs."""
+
+    def __init__(self, pipeline: Pipeline, trace: Trace) -> None:
+        super().__init__(pipeline)
+        self.trace = trace
+        self._initial_cursor: dict[str, int] = {}
+
+    def wrap_initial(self, stage: str, payload: object) -> object:
+        cursor = self._initial_cursor.get(stage, 0)
+        initial = self.trace.initial.get(stage, [])
+        if cursor >= len(initial):
+            raise ExecutionError(
+                f"replay has no recorded initial item #{cursor} for stage "
+                f"{stage!r}"
+            )
+        self._initial_cursor[stage] = cursor + 1
+        return initial[cursor]
+
+    def initial_items(self) -> dict[str, list[object]]:
+        """The recorded entry items, ready to insert into a run."""
+        return {stage: list(ids) for stage, ids in self.trace.initial.items()}
+
+    def run_task(self, stage: str, item: object) -> ExecResult:
+        node = self.trace.node(item)
+        if node.stage != stage:
+            raise ExecutionError(
+                f"replay mismatch: node {item} belongs to stage "
+                f"{node.stage!r}, fetched for {stage!r}"
+            )
+        children = [
+            (self.trace.node(cid).stage, cid) for cid in node.children
+        ]
+        outputs = [None] * node.n_outputs
+        return ExecResult(cost=node.cost, children=children, outputs=outputs)

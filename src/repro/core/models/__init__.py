@@ -1,0 +1,45 @@
+"""Execution models for pipelined computing on GPU (Section 4).
+
+Five single-model executors plus the hybrid combinator:
+
+======================  =====================================================
+``rtc``                 Run-to-completion: all stages fused in one kernel
+``kbk``                 Kernel-by-kernel: host-driven stage waves
+``megakernel``          Persistent threads + software work queues
+``coarse``              Per-stage persistent kernels bound to exclusive SMs
+``fine``                Per-stage kernels with per-SM block counts
+``hybrid``              Stage groups, each under its own model (VersaPipe)
+``dynamic_parallelism`` Device-side child launches (Section 8.4 comparison)
+======================  =====================================================
+"""
+
+from .base import (
+    CHARACTERISTIC_NAMES,
+    ExecutionModel,
+    Level,
+    ModelCharacteristics,
+    get_model,
+    registered_models,
+)
+from .dynamic_parallelism import DynamicParallelismModel
+from .hybrid import HybridModel
+from .kbk import KBKModel
+from .megakernel import MegakernelModel
+from .rtc import RTCModel
+from .sm_bound import CoarsePipelineModel, FinePipelineModel
+
+__all__ = [
+    "CHARACTERISTIC_NAMES",
+    "CoarsePipelineModel",
+    "DynamicParallelismModel",
+    "ExecutionModel",
+    "FinePipelineModel",
+    "HybridModel",
+    "KBKModel",
+    "Level",
+    "MegakernelModel",
+    "ModelCharacteristics",
+    "RTCModel",
+    "get_model",
+    "registered_models",
+]

@@ -1,0 +1,121 @@
+"""Execution-model base class, characteristics metadata, and registry.
+
+Each model carries a :class:`ModelCharacteristics` record encoding the
+seven qualitative metrics of the paper's Figure 6 (applicability, task
+parallelism, hardware usage, load balance, data locality, code footprint,
+simplicity of control) on the paper's three-level scale.  The Figure-6
+benchmark renders its matrix from this metadata rather than from a
+hand-copied table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Type
+
+from ...gpu.device import GPUDevice
+from ..errors import ConfigurationError
+from ..executor import Executor
+from ..pipeline import Pipeline
+from ..result import RunResult
+
+
+class Level(enum.IntEnum):
+    """The paper's three-level qualitative scale (Figure 6)."""
+
+    POOR = 1
+    FAIR = 2
+    GOOD = 3
+
+
+#: Display order of the Figure 6 metrics (A..G).
+CHARACTERISTIC_NAMES = (
+    "applicability",
+    "task_parallelism",
+    "hardware_usage",
+    "load_balance",
+    "data_locality",
+    "code_footprint",
+    "simplicity_control",
+)
+
+
+@dataclass(frozen=True)
+class ModelCharacteristics:
+    applicability: Level
+    task_parallelism: Level
+    hardware_usage: Level
+    load_balance: Level
+    data_locality: Level
+    code_footprint: Level
+    simplicity_control: Level
+
+    def as_row(self) -> tuple[int, ...]:
+        return tuple(int(getattr(self, name)) for name in CHARACTERISTIC_NAMES)
+
+
+class ExecutionModel:
+    """Base class: run a pipeline on a device under one execution model."""
+
+    name: str = ""
+    characteristics: Optional[ModelCharacteristics] = None
+
+    def check_applicable(self, pipeline: Pipeline) -> None:
+        """Raise :class:`ModelNotApplicableError` if the pipeline cannot be
+        expressed in this model.  Default: everything is applicable."""
+
+    def run(
+        self,
+        pipeline: Pipeline,
+        device: GPUDevice,
+        executor: Executor,
+        initial_items: dict[str, Sequence[object]],
+    ) -> RunResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        device: GPUDevice,
+        outputs: list,
+        stage_stats,
+        queue_stats=None,
+        config_description: str = "",
+        extras: Optional[dict] = None,
+    ) -> RunResult:
+        metrics = device.finalize_metrics()
+        return RunResult(
+            model=self.name,
+            time_ms=device.elapsed_ms,
+            cycles=metrics.elapsed_cycles,
+            outputs=outputs,
+            device_metrics=metrics,
+            stage_stats=stage_stats,
+            queue_stats=queue_stats or {},
+            config_description=config_description,
+            extras=extras or {},
+        )
+
+
+_REGISTRY: dict[str, Type[ExecutionModel]] = {}
+
+
+def register_model(cls: Type[ExecutionModel]) -> Type[ExecutionModel]:
+    if not cls.name:
+        raise ConfigurationError(f"{cls.__name__} has no model name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_model(name: str) -> Type[ExecutionModel]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown execution model {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_models() -> dict[str, Type[ExecutionModel]]:
+    return dict(_REGISTRY)

@@ -1,0 +1,62 @@
+"""Megakernel model (Section 4.1): one persistent kernel for all stages.
+
+Implemented as a one-group hybrid plan over every SM.  The fused kernel
+pays the maximum per-stage register pressure — the paper's central critique:
+on Reyes the megakernel's 255 registers/thread leave room for a single
+block per K20c SM, so most of the GPU's latency-hiding capacity is wasted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...gpu.device import GPUDevice
+from ..config import GroupConfig, PipelineConfig
+from ..executor import Executor
+from ..pipeline import Pipeline
+from ..result import RunResult
+from .base import ExecutionModel, Level, ModelCharacteristics, register_model
+from .hybrid import HybridEngine
+
+
+@register_model
+class MegakernelModel(ExecutionModel):
+    name = "megakernel"
+    characteristics = ModelCharacteristics(
+        applicability=Level.FAIR,
+        task_parallelism=Level.GOOD,
+        hardware_usage=Level.POOR,
+        load_balance=Level.GOOD,
+        data_locality=Level.FAIR,
+        code_footprint=Level.POOR,
+        simplicity_control=Level.FAIR,
+    )
+
+    def __init__(
+        self, policy: str = "deepest_first", queue_mode: str = "shared"
+    ) -> None:
+        self.policy = policy
+        self.queue_mode = queue_mode
+
+    def run(
+        self,
+        pipeline: Pipeline,
+        device: GPUDevice,
+        executor: Executor,
+        initial_items: dict[str, Sequence[object]],
+    ) -> RunResult:
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=tuple(pipeline.stage_names),
+                    model="megakernel",
+                    sm_ids=tuple(range(device.spec.num_sms)),
+                ),
+            ),
+            policy=self.policy,
+            queue_mode=self.queue_mode,
+        )
+        engine = HybridEngine(pipeline, device, executor, config)
+        result = engine.run(initial_items)
+        result.model = self.name
+        return result

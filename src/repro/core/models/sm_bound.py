@@ -1,0 +1,218 @@
+"""The paper's two new SM-bound models (Section 4.2.2).
+
+*Coarse pipeline*: one persistent kernel per stage, each bound to an
+exclusive set of SMs (implemented as single-stage megakernel groups).
+
+*Fine pipeline*: one persistent kernel per stage with an explicit per-SM
+block count, letting several stages share an SM (one fine group spanning
+the requested SMs).
+
+Both accept explicit mappings or derive sensible defaults: coarse splits
+the SMs proportionally to a load estimate (uniform when none is given);
+fine packs one block of every stage per SM and then greedily adds blocks of
+the cheapest stages while resources remain.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ...gpu.device import GPUDevice
+from ...gpu.occupancy import registers_per_block, shared_mem_per_block
+from ...gpu.specs import GPUSpec
+from ..config import GroupConfig, PipelineConfig, max_fine_blocks
+from ..errors import ConfigurationError
+from ..executor import Executor
+from ..pipeline import Pipeline
+from ..result import RunResult
+from .base import ExecutionModel, Level, ModelCharacteristics, register_model
+from .hybrid import HybridEngine
+
+
+def split_sms_proportionally(
+    num_sms: int, stages: Sequence[str], weights: Optional[Mapping[str, float]]
+) -> dict[str, tuple[int, ...]]:
+    """Partition SM ids among stages proportionally to ``weights``.
+
+    Every stage receives at least one SM; remainders go to the heaviest
+    stages (largest-remainder method, deterministic).
+    """
+    if len(stages) > num_sms:
+        raise ConfigurationError(
+            f"coarse pipeline needs >= 1 SM per stage: {len(stages)} stages "
+            f"vs {num_sms} SMs"
+        )
+    if weights is None:
+        weights = {s: 1.0 for s in stages}
+    total = sum(max(1e-12, weights.get(s, 1.0)) for s in stages)
+    raw = {
+        s: max(1e-12, weights.get(s, 1.0)) / total * num_sms for s in stages
+    }
+    counts = {s: max(1, int(raw[s])) for s in stages}
+    # Largest-remainder correction to hit num_sms exactly.
+    while sum(counts.values()) > num_sms:
+        victim = max(
+            (s for s in stages if counts[s] > 1),
+            key=lambda s: counts[s] - raw[s],
+        )
+        counts[victim] -= 1
+    remainders = sorted(
+        stages, key=lambda s: (raw[s] - counts[s]), reverse=True
+    )
+    index = 0
+    while sum(counts.values()) < num_sms:
+        counts[remainders[index % len(remainders)]] += 1
+        index += 1
+    assignment: dict[str, tuple[int, ...]] = {}
+    next_sm = 0
+    for s in stages:
+        assignment[s] = tuple(range(next_sm, next_sm + counts[s]))
+        next_sm += counts[s]
+    return assignment
+
+
+def default_fine_block_map(
+    pipeline: Pipeline, spec: GPUSpec, stages: Sequence[str]
+) -> dict[str, int]:
+    """One block per stage per SM, then greedily add more while they fit."""
+    block_map = {s: 1 for s in stages}
+
+    def fits(candidate: Mapping[str, int]) -> bool:
+        regs = smem = threads = blocks = 0
+        for stage_name, count in candidate.items():
+            kernel = pipeline.stage(stage_name).kernel_spec()
+            regs += registers_per_block(kernel, spec) * count
+            smem += shared_mem_per_block(kernel, spec) * count
+            threads += kernel.threads_per_block * count
+            blocks += count
+        return (
+            regs <= spec.registers_per_sm
+            and smem <= spec.shared_mem_per_sm
+            and threads <= spec.max_threads_per_sm
+            and blocks <= spec.max_blocks_per_sm
+        )
+
+    if not fits(block_map):
+        raise ConfigurationError(
+            f"stages {list(stages)} cannot co-reside even at 1 block each; "
+            "use coarse pipeline or regroup"
+        )
+    changed = True
+    while changed:
+        changed = False
+        for stage_name in sorted(
+            stages,
+            key=lambda s: pipeline.stage(s).kernel_spec().registers_per_thread,
+        ):
+            if block_map[stage_name] >= max_fine_blocks(pipeline, spec, stage_name):
+                continue
+            trial = dict(block_map)
+            trial[stage_name] += 1
+            if fits(trial):
+                block_map = trial
+                changed = True
+    return block_map
+
+
+@register_model
+class CoarsePipelineModel(ExecutionModel):
+    """Each stage exclusively owns a set of SMs (Figure 4)."""
+
+    name = "coarse"
+    characteristics = ModelCharacteristics(
+        applicability=Level.GOOD,
+        task_parallelism=Level.GOOD,
+        hardware_usage=Level.FAIR,
+        load_balance=Level.FAIR,
+        data_locality=Level.FAIR,
+        code_footprint=Level.GOOD,
+        simplicity_control=Level.FAIR,
+    )
+
+    def __init__(
+        self,
+        sm_assignment: Optional[Mapping[str, Sequence[int]]] = None,
+        weights: Optional[Mapping[str, float]] = None,
+        policy: str = "deepest_first",
+    ) -> None:
+        self.sm_assignment = sm_assignment
+        self.weights = weights
+        self.policy = policy
+
+    def run(
+        self,
+        pipeline: Pipeline,
+        device: GPUDevice,
+        executor: Executor,
+        initial_items: dict[str, Sequence[object]],
+    ) -> RunResult:
+        if self.sm_assignment is not None:
+            assignment = {
+                s: tuple(ids) for s, ids in self.sm_assignment.items()
+            }
+        else:
+            assignment = split_sms_proportionally(
+                device.spec.num_sms, pipeline.stage_names, self.weights
+            )
+        groups = tuple(
+            GroupConfig(stages=(s,), model="megakernel", sm_ids=assignment[s])
+            for s in pipeline.stage_names
+        )
+        config = PipelineConfig(groups=groups, policy=self.policy)
+        engine = HybridEngine(pipeline, device, executor, config)
+        result = engine.run(initial_items)
+        result.model = self.name
+        return result
+
+
+@register_model
+class FinePipelineModel(ExecutionModel):
+    """Stages share SMs at thread-block granularity (Figure 5)."""
+
+    name = "fine"
+    characteristics = ModelCharacteristics(
+        applicability=Level.GOOD,
+        task_parallelism=Level.GOOD,
+        hardware_usage=Level.GOOD,
+        load_balance=Level.GOOD,
+        data_locality=Level.GOOD,
+        code_footprint=Level.GOOD,
+        simplicity_control=Level.POOR,
+    )
+
+    def __init__(
+        self,
+        block_map: Optional[Mapping[str, int]] = None,
+        sm_ids: Optional[Sequence[int]] = None,
+        policy: str = "deepest_first",
+    ) -> None:
+        self.block_map = dict(block_map) if block_map is not None else None
+        self.sm_ids = tuple(sm_ids) if sm_ids is not None else None
+        self.policy = policy
+
+    def run(
+        self,
+        pipeline: Pipeline,
+        device: GPUDevice,
+        executor: Executor,
+        initial_items: dict[str, Sequence[object]],
+    ) -> RunResult:
+        sm_ids = self.sm_ids or tuple(range(device.spec.num_sms))
+        block_map = self.block_map or default_fine_block_map(
+            pipeline, device.spec, pipeline.stage_names
+        )
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=tuple(pipeline.stage_names),
+                    model="fine",
+                    sm_ids=sm_ids,
+                    block_map=block_map,
+                ),
+            ),
+            policy=self.policy,
+        )
+        engine = HybridEngine(pipeline, device, executor, config)
+        result = engine.run(initial_items)
+        result.model = self.name
+        return result

@@ -1,0 +1,89 @@
+"""Work-queue library (the low-level control layer, Section 5).
+
+Queues buffer data items between stages.  Each queue records statistics the
+harness uses for the overhead analysis (Section 8.5): total enqueues, peak
+length, and bytes moved.  The *timing* cost of queue operations (atomic
+reservation latency, per-byte copy cost, contention) is charged by the
+runners via :meth:`op_cost`, parameterised by the device spec.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..gpu.specs import GPUSpec
+
+
+class QueuedItem:
+    """A payload plus the SM that produced it (for L1-locality modelling)."""
+
+    __slots__ = ("payload", "producer_sm")
+
+    def __init__(self, payload: object, producer_sm: Optional[int] = None) -> None:
+        self.payload = payload
+        self.producer_sm = producer_sm
+
+
+@dataclass
+class QueueStats:
+    enqueued: int = 0
+    dequeued: int = 0
+    peak_length: int = 0
+    bytes_moved: int = 0
+
+    def merge(self, other: "QueueStats") -> None:
+        self.enqueued += other.enqueued
+        self.dequeued += other.dequeued
+        self.peak_length = max(self.peak_length, other.peak_length)
+        self.bytes_moved += other.bytes_moved
+
+
+class WorkQueue:
+    """FIFO buffer of :class:`QueuedItem` for one stage."""
+
+    def __init__(self, stage_name: str, item_bytes: int) -> None:
+        self.stage_name = stage_name
+        self.item_bytes = item_bytes
+        self._items: deque[QueuedItem] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def push(self, payload: object, producer_sm: Optional[int] = None) -> None:
+        self._items.append(QueuedItem(payload, producer_sm))
+        self.stats.enqueued += 1
+        self.stats.bytes_moved += self.item_bytes
+        self.stats.peak_length = max(self.stats.peak_length, len(self._items))
+
+    def pop_batch(self, max_items: int) -> list[QueuedItem]:
+        batch = []
+        while self._items and len(batch) < max_items:
+            batch.append(self._items.popleft())
+        self.stats.dequeued += len(batch)
+        return batch
+
+
+def queue_op_cost(
+    spec: GPUSpec, item_bytes: int, n_items: int, contention_level: float
+) -> float:
+    """Cycles for one queue operation moving ``n_items`` items.
+
+    ``contention_level`` approximates the number of blocks per SM competing
+    for the queue's atomic counters; batching amortises the fixed cost
+    (the paper's observation that composite data items "reduce ... the
+    needed queuing operations").
+    """
+    if n_items <= 0:
+        return 0.0
+    return (
+        spec.queue_op_cycles
+        + spec.queue_cycles_per_byte * item_bytes * n_items
+        + spec.queue_contention_cycles * max(0.0, contention_level)
+    )

@@ -1,0 +1,192 @@
+"""Queue organisations: one shared queue per stage, or distributed per-SM
+shards with work stealing.
+
+Section 8.5 names queue overhead as VersaPipe's main residual cost and
+suggests "more efficient queue schemes (e.g., distributed queues)"; the
+related work (Cederman & Tsigas; Chen et al.; Tzeng et al.) builds such
+queues with stealing/donation.  This module implements both:
+
+* :class:`SharedQueueSet` — the paper's baseline: one global queue per
+  stage.  Every enqueue/dequeue pays contention proportional to the number
+  of persistent blocks hammering the same atomic counters.
+* :class:`DistributedQueueSet` — one shard per SM per stage (plus a host
+  shard for initial items).  Producers push to their own SM's shard
+  (contention-free), consumers pop locally first and *steal* from the
+  richest shard when empty, paying a remote-access surcharge.
+
+The cost accounting lives here so the runners stay agnostic: ``pop`` and
+``push`` return the cycle cost of the operation alongside the items.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..gpu.specs import GPUSpec
+from .errors import ConfigurationError
+from .queues import QueuedItem, QueueStats, WorkQueue, queue_op_cost
+
+QUEUE_MODES = ("shared", "distributed")
+
+#: Shard key for items pushed from the host (initial insertions).
+HOST_SHARD = -1
+
+#: Multiplier on the fixed queue cost when stealing from a remote shard.
+STEAL_COST_FACTOR = 2.5
+
+
+class SharedQueueSet:
+    """One global work queue per stage (the paper's default)."""
+
+    def __init__(self, stages: dict[str, int], spec: GPUSpec) -> None:
+        """``stages`` maps stage name -> item size in bytes."""
+        self.spec = spec
+        self._queues = {
+            name: WorkQueue(name, item_bytes)
+            for name, item_bytes in stages.items()
+        }
+        #: Approximate concurrent accessors per SM; set by the engine.
+        self.contention_level = 0.0
+        self.steals = 0  # always zero for the shared organisation
+
+    def push(
+        self,
+        stage: str,
+        payload: object,
+        producer_sm: Optional[int],
+    ) -> float:
+        self._queues[stage].push(payload, producer_sm)
+        return queue_op_cost(
+            self.spec,
+            self._queues[stage].item_bytes,
+            1,
+            self.contention_level,
+        )
+
+    def pop(
+        self, stage: str, max_items: int, sm_id: Optional[int]
+    ) -> tuple[list[QueuedItem], float]:
+        queue = self._queues[stage]
+        batch = queue.pop_batch(max_items)
+        cost = queue_op_cost(
+            self.spec, queue.item_bytes, len(batch), self.contention_level
+        )
+        return batch, cost
+
+    def drain(self, stage: str) -> list[QueuedItem]:
+        queue = self._queues[stage]
+        return queue.pop_batch(len(queue))
+
+    def has_work(self, stage: str) -> bool:
+        return not self._queues[stage].empty
+
+    def backlog(self, stage: str) -> int:
+        return len(self._queues[stage])
+
+    def stats(self) -> dict[str, QueueStats]:
+        return {name: q.stats for name, q in self._queues.items()}
+
+
+class DistributedQueueSet:
+    """Per-SM queue shards with locality-first popping and stealing."""
+
+    def __init__(
+        self, stages: dict[str, int], spec: GPUSpec
+    ) -> None:
+        self.spec = spec
+        self._item_bytes = dict(stages)
+        shard_ids = [HOST_SHARD] + list(range(spec.num_sms))
+        self._shards: dict[str, dict[int, WorkQueue]] = {
+            name: {
+                shard: WorkQueue(f"{name}@{shard}", item_bytes)
+                for shard in shard_ids
+            }
+            for name, item_bytes in stages.items()
+        }
+        self._totals: dict[str, int] = {name: 0 for name in stages}
+        self.contention_level = 0.0
+        self.steals = 0
+
+    # ------------------------------------------------------------------
+    def push(
+        self, stage: str, payload: object, producer_sm: Optional[int]
+    ) -> float:
+        shard = HOST_SHARD if producer_sm is None else producer_sm
+        self._shards[stage][shard].push(payload, producer_sm)
+        self._totals[stage] += 1
+        # A per-SM shard sees only its own SM's blocks: no cross-SM
+        # contention on the atomic counters.
+        return queue_op_cost(self.spec, self._item_bytes[stage], 1, 0.0)
+
+    def pop(
+        self, stage: str, max_items: int, sm_id: Optional[int]
+    ) -> tuple[list[QueuedItem], float]:
+        shards = self._shards[stage]
+        batch: list[QueuedItem] = []
+        cost = 0.0
+        local = shards.get(sm_id if sm_id is not None else HOST_SHARD)
+        if local is not None and not local.empty:
+            batch = local.pop_batch(max_items)
+            cost += queue_op_cost(
+                self.spec, self._item_bytes[stage], len(batch), 0.0
+            )
+        if not batch:
+            victim = self._richest_shard(stage, exclude=sm_id)
+            if victim is not None:
+                batch = shards[victim].pop_batch(max_items)
+                if batch:
+                    self.steals += 1
+                    cost += STEAL_COST_FACTOR * queue_op_cost(
+                        self.spec,
+                        self._item_bytes[stage],
+                        len(batch),
+                        self.contention_level,
+                    )
+        self._totals[stage] -= len(batch)
+        return batch, cost
+
+    def drain(self, stage: str) -> list[QueuedItem]:
+        items: list[QueuedItem] = []
+        for shard in self._shards[stage].values():
+            items.extend(shard.pop_batch(len(shard)))
+        self._totals[stage] = 0
+        return items
+
+    def _richest_shard(
+        self, stage: str, exclude: Optional[int]
+    ) -> Optional[int]:
+        best_shard, best_len = None, 0
+        for shard_id, queue in self._shards[stage].items():
+            if shard_id == exclude:
+                continue
+            if len(queue) > best_len:
+                best_shard, best_len = shard_id, len(queue)
+        return best_shard
+
+    # ------------------------------------------------------------------
+    def has_work(self, stage: str) -> bool:
+        return self._totals[stage] > 0
+
+    def backlog(self, stage: str) -> int:
+        return self._totals[stage]
+
+    def stats(self) -> dict[str, QueueStats]:
+        merged: dict[str, QueueStats] = {}
+        for name, shards in self._shards.items():
+            stats = QueueStats()
+            for queue in shards.values():
+                stats.merge(queue.stats)
+            merged[name] = stats
+        return merged
+
+
+def make_queue_set(
+    mode: str, stages: dict[str, int], spec: GPUSpec
+):
+    if mode == "shared":
+        return SharedQueueSet(stages, spec)
+    if mode == "distributed":
+        return DistributedQueueSet(stages, spec)
+    raise ConfigurationError(
+        f"unknown queue mode {mode!r}; choose from {QUEUE_MODES}"
+    )

@@ -1,0 +1,39 @@
+"""Run results returned by every execution model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..gpu.metrics import DeviceMetrics
+from .queues import QueueStats
+from .runcontext import StageRunStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a pipeline under one execution model."""
+
+    model: str
+    time_ms: float
+    cycles: float
+    outputs: list[Any]
+    device_metrics: DeviceMetrics
+    stage_stats: dict[str, StageRunStats]
+    queue_stats: dict[str, QueueStats] = field(default_factory=dict)
+    config_description: str = ""
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (>1 means faster)."""
+        if self.time_ms <= 0:
+            raise ValueError("cannot compute speedup of a zero-time run")
+        return other.time_ms / self.time_ms
+
+    def summary(self) -> str:
+        return (
+            f"{self.model}: {self.time_ms:.3f} ms, "
+            f"{self.device_metrics.kernel_launches} launches, "
+            f"{self.device_metrics.blocks_launched} blocks, "
+            f"{len(self.outputs)} outputs"
+        )

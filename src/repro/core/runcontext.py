@@ -1,0 +1,365 @@
+"""Per-run coordination: queues, termination detection, task scheduling.
+
+A :class:`RunContext` owns the work-queue organisation of one pipeline
+execution and the *outstanding-work* accounting that replaces a real GPU's
+done-flag polling:
+
+* every enqueued item increments its stage's outstanding count; the count
+  drops only after the item has been processed *and* its children have been
+  enqueued, so the count can never falsely reach zero while work is still
+  in flight;
+* a set of stages is **quiescent** when no stage that can still reach it
+  (per the pipeline's reachability closure) has outstanding work — this is
+  when persistent blocks serving those stages can safely exit, and when the
+  online tuner learns that SMs have been freed (Section 7);
+* blocks fetch through :meth:`fetch_async`, which implements the paper's
+  task scheduler: it picks a queue according to the configured policy and
+  either delivers a batch (after a polling latency) or parks the block
+  until work arrives or quiescence is reached.
+
+Queues come in two organisations (:mod:`repro.core.queueset`): one shared
+queue per stage, or distributed per-SM shards with work stealing — the
+Section 8.5 improvement direction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..gpu.device import GPUDevice
+from .errors import ConfigurationError, ExecutionError
+from .executor import Executor
+from .pipeline import Pipeline
+from .queues import QueueStats, queue_op_cost
+from .queueset import make_queue_set
+
+#: Task-scheduler policies (which stage's queue a block serves first).
+POLICIES = ("deepest_first", "fifo", "round_robin")
+
+
+@dataclass
+class _Waiter:
+    """A parked persistent block waiting for work on a set of stages."""
+
+    stages: tuple[str, ...]
+    capacity_fn: Callable[[str], int]
+    resume: Callable[[object], None]
+    sm_id: Optional[int] = None
+    cancelled: bool = False
+
+
+@dataclass
+class StageRunStats:
+    """Per-stage counters for one run."""
+
+    tasks: int = 0
+    items_emitted: int = 0
+    busy_cycles: float = 0.0
+
+
+class RunContext:
+    """Shared state of one simulated pipeline execution."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        device: GPUDevice,
+        executor: Executor,
+        policy: str = "deepest_first",
+        queue_mode: str = "shared",
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown scheduler policy {policy!r}; choose from {POLICIES}"
+            )
+        self.pipeline = pipeline
+        self.device = device
+        self.executor = executor
+        self.policy = policy
+        self.queue_mode = queue_mode
+        self.queue_set = make_queue_set(
+            queue_mode,
+            {
+                name: stage.item_bytes
+                for name, stage in pipeline.stages.items()
+            },
+            device.spec,
+        )
+        self.outstanding: dict[str, int] = {name: 0 for name in pipeline.stages}
+        self.total_outstanding = 0
+        self.outputs: list[object] = []
+        self.stage_stats: dict[str, StageRunStats] = {
+            name: StageRunStats() for name in pipeline.stages
+        }
+        #: Depth of each stage in definition order, for deepest_first.
+        self._depth = {name: i for i, name in enumerate(pipeline.stages)}
+        self._waiters: deque[_Waiter] = deque()
+        self._peek_waiters: list[tuple[tuple[str, ...], Callable]] = []
+        self._rr_cursor: dict[int, int] = {}
+        #: Callbacks fired when a quiescence change may have freed blocks
+        #: (the online tuner subscribes here).
+        self.quiescence_listeners: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Queue-contention knob (set by the engine from the launch plan).
+    # ------------------------------------------------------------------
+    @property
+    def contention_level(self) -> float:
+        return self.queue_set.contention_level
+
+    @contention_level.setter
+    def contention_level(self, value: float) -> None:
+        self.queue_set.contention_level = value
+
+    # ------------------------------------------------------------------
+    # Outstanding-work accounting.
+    # ------------------------------------------------------------------
+    def insert_initial(self, items: dict[str, Sequence[object]]) -> None:
+        """Insert user payloads as initial work (the paper's
+        ``insertIntoQueue``), charging a host-to-device copy."""
+        total_bytes = 0
+        for stage_name, payloads in items.items():
+            stage = self.pipeline.stage(stage_name)
+            total_bytes += stage.item_bytes * len(payloads)
+            for payload in payloads:
+                wrapped = self.executor.wrap_initial(stage_name, payload)
+                self._enqueue_one(stage_name, wrapped, producer_sm=None)
+        if total_bytes:
+            self.device.memcpy_h2d(total_bytes)
+
+    def _enqueue_one(
+        self, stage: str, item: object, producer_sm: Optional[int]
+    ) -> None:
+        self.queue_set.push(stage, item, producer_sm)
+        self.outstanding[stage] += 1
+        self.total_outstanding += 1
+
+    def enqueue_children(
+        self, children: Iterable[tuple[str, object]], producer_sm: Optional[int]
+    ) -> None:
+        """Push emitted items and wake any block that can serve them."""
+        touched: list[str] = []
+        for target, item in children:
+            self._enqueue_one(target, item, producer_sm)
+            touched.append(target)
+        for target in touched:
+            self._wake_for(target)
+        self._notify_peek_waiters(touched)
+
+    def _notify_peek_waiters(self, touched: Sequence[str]) -> None:
+        if not self._peek_waiters:
+            return
+        remaining = []
+        for stages, callback in self._peek_waiters:
+            if any(
+                t in stages and self.queue_set.has_work(t) for t in touched
+            ):
+                self.device.engine.schedule(0.0, lambda cb=callback: cb(True))
+            else:
+                remaining.append((stages, callback))
+        self._peek_waiters = remaining
+
+    def complete_tasks(self, stage: str, n_items: int) -> None:
+        """Account for ``n_items`` finished *queued* items of ``stage``.
+
+        Must be called *after* the tasks' children were enqueued, so the
+        outstanding count never transiently reaches zero mid-flight.
+        """
+        if self.outstanding[stage] < n_items:
+            raise ExecutionError(
+                f"stage {stage!r} completed more items than were outstanding"
+            )
+        self.outstanding[stage] -= n_items
+        self.total_outstanding -= n_items
+        self._check_quiescence()
+
+    def note_stage_work(self, stage: str, tasks: int, busy_cycles: float) -> None:
+        """Record executed tasks for per-stage statistics (includes tasks
+        executed inline inside fused groups, which never hit a queue)."""
+        stats = self.stage_stats[stage]
+        stats.tasks += tasks
+        stats.busy_cycles += busy_cycles
+
+    def add_outputs(self, outputs: Iterable[object]) -> None:
+        self.outputs.extend(outputs)
+
+    @property
+    def done(self) -> bool:
+        return self.total_outstanding == 0
+
+    # ------------------------------------------------------------------
+    # Quiescence.
+    # ------------------------------------------------------------------
+    def is_quiescent(self, stages: Iterable[str]) -> bool:
+        """True when no outstanding work can ever reach any of ``stages``."""
+        targets = tuple(stages)
+        for source, count in self.outstanding.items():
+            if count > 0 and self.pipeline.can_reach(source, targets):
+                return False
+        return True
+
+    def _check_quiescence(self) -> None:
+        """Release waiters whose watched stages can receive no more work."""
+        released = False
+        for waiter in list(self._waiters):
+            if waiter.cancelled:
+                continue
+            if self.is_quiescent(waiter.stages):
+                waiter.cancelled = True
+                released = True
+                resume = waiter.resume
+                self.device.engine.schedule(0.0, lambda r=resume: r(None))
+        if self._peek_waiters:
+            remaining = []
+            for stages, callback in self._peek_waiters:
+                if self.is_quiescent(stages):
+                    released = True
+                    self.device.engine.schedule(0.0, lambda cb=callback: cb(None))
+                else:
+                    remaining.append((stages, callback))
+            self._peek_waiters = remaining
+        if released or self.done:
+            for listener in self.quiescence_listeners:
+                listener()
+        self._waiters = deque(w for w in self._waiters if not w.cancelled)
+
+    # ------------------------------------------------------------------
+    # Fetching (the task scheduler).
+    # ------------------------------------------------------------------
+    def _pick_queue(
+        self, stages: tuple[str, ...], waiter_key: int
+    ) -> Optional[str]:
+        candidates = [s for s in stages if self.queue_set.has_work(s)]
+        if not candidates:
+            return None
+        if self.policy == "deepest_first":
+            return max(candidates, key=lambda s: self._depth[s])
+        if self.policy == "fifo":
+            return min(candidates, key=lambda s: self._depth[s])
+        # round_robin: rotate a per-block cursor over the watched stages.
+        cursor = self._rr_cursor.get(waiter_key, 0)
+        ordered = stages[cursor % len(stages):] + stages[: cursor % len(stages)]
+        self._rr_cursor[waiter_key] = cursor + 1
+        for s in ordered:
+            if self.queue_set.has_work(s):
+                return s
+        return None
+
+    def fetch_async(
+        self,
+        stages: tuple[str, ...],
+        capacity_fn: Callable[[str], int],
+        resume: Callable[[object], None],
+        waiter_key: int = 0,
+        sm_id: Optional[int] = None,
+    ) -> None:
+        """Deliver ``(stage, [QueuedItem,...], fetch_cost_cycles)`` to
+        ``resume``, or ``None`` when the watched stages are quiescent.
+
+        ``sm_id`` localises the pop under the distributed queue
+        organisation.  Delivery is always asynchronous (via the event
+        engine) so block programs see a uniform ordering whether or not
+        work was ready.
+        """
+        chosen = self._pick_queue(tuple(stages), waiter_key)
+        if chosen is not None:
+            batch, cost = self.queue_set.pop(
+                chosen, capacity_fn(chosen), sm_id
+            )
+            if batch:
+                self.device.engine.schedule(
+                    0.0, lambda: resume((chosen, batch, cost))
+                )
+                return
+        if self.is_quiescent(stages):
+            self.device.engine.schedule(0.0, lambda: resume(None))
+            return
+        self._waiters.append(
+            _Waiter(
+                stages=tuple(stages),
+                capacity_fn=capacity_fn,
+                resume=resume,
+                sm_id=sm_id,
+            )
+        )
+
+    def wait_for_work(
+        self, stages: tuple[str, ...], callback: Callable[[Optional[bool]], None]
+    ) -> None:
+        """Notify ``callback(True)`` when any of ``stages`` has queued work
+        (without popping it), or ``callback(None)`` on quiescence.
+
+        Used by host-driven (KBK) group runners, which drain queues in
+        whole waves rather than per-block batches.
+        """
+        if any(self.queue_set.has_work(s) for s in stages):
+            self.device.engine.schedule(0.0, lambda: callback(True))
+            return
+        if self.is_quiescent(stages):
+            self.device.engine.schedule(0.0, lambda: callback(None))
+            return
+        self._peek_waiters.append((tuple(stages), callback))
+
+    def drain_stage(self, stage: str):
+        """Remove and return every queued item of ``stage`` (KBK waves)."""
+        return self.queue_set.drain(stage)
+
+    def _wake_for(self, stage: str) -> None:
+        """Hand newly arrived work to parked blocks watching ``stage``."""
+        woke_any = False
+        for waiter in self._waiters:
+            if not self.queue_set.has_work(stage):
+                break
+            if waiter.cancelled or stage not in waiter.stages:
+                continue
+            batch, cost = self.queue_set.pop(
+                stage, waiter.capacity_fn(stage), waiter.sm_id
+            )
+            if not batch:
+                break
+            waiter.cancelled = True
+            woke_any = True
+            resume = waiter.resume
+            self.device.engine.schedule(
+                self.device.spec.queue_poll_cycles,
+                lambda r=resume, b=batch, c=cost: r((stage, b, c)),
+            )
+        if woke_any:
+            self._waiters = deque(w for w in self._waiters if not w.cancelled)
+
+    # ------------------------------------------------------------------
+    # Queue-operation cost model (pushes; fetch costs come with the batch).
+    # ------------------------------------------------------------------
+    def push_cost(self, children: Sequence[tuple[str, object]]) -> float:
+        """Cost of pushing a mixed batch of children (one op per target).
+
+        Under the distributed organisation producers write to their own
+        SM's shard, so pushes see no cross-SM contention.
+        """
+        if not children:
+            return 0.0
+        contention = (
+            0.0 if self.queue_mode == "distributed" else self.contention_level
+        )
+        by_target: dict[str, int] = {}
+        for target, _item in children:
+            by_target[target] = by_target.get(target, 0) + 1
+        return sum(
+            queue_op_cost(
+                self.device.spec,
+                self.pipeline.stage(target).item_bytes,
+                count,
+                contention,
+            )
+            for target, count in by_target.items()
+        )
+
+    # ------------------------------------------------------------------
+    def queue_stats(self) -> dict[str, QueueStats]:
+        return self.queue_set.stats()
+
+    def backlog(self, stages: Iterable[str]) -> int:
+        """Items currently queued for the given stages."""
+        return sum(self.queue_set.backlog(s) for s in stages)

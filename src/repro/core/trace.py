@@ -1,0 +1,64 @@
+"""Execution traces: record once, replay many times.
+
+A pipeline's task graph is schedule-independent (stages must be pure
+functions of their input item), so one *functional* run can record every
+task — its stage, cost and children — into a :class:`Trace`.  The offline
+auto-tuner then evaluates dozens of candidate configurations by *replaying*
+the trace, paying only simulator cost instead of re-running the real numpy
+computation each time.  This mirrors how the paper's offline tuner re-runs
+the real program per configuration, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stage import TaskCost
+
+
+@dataclass(frozen=True)
+class TraceNode:
+    """One recorded task: an item processed at a stage."""
+
+    node_id: int
+    stage: str
+    cost: TaskCost
+    children: tuple[int, ...]
+    n_outputs: int
+
+
+@dataclass
+class Trace:
+    """A recorded task graph plus its entry points."""
+
+    nodes: list[TraceNode] = field(default_factory=list)
+    #: Entry node ids per entry stage, in insertion order.
+    initial: dict[str, list[int]] = field(default_factory=dict)
+
+    def node(self, node_id: int) -> TraceNode:
+        return self.nodes[node_id]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.nodes)
+
+    def tasks_per_stage(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.stage] = counts.get(node.stage, 0) + 1
+        return counts
+
+    def work_per_stage(self) -> dict[str, float]:
+        """Total cycles-per-thread work recorded for each stage."""
+        work: dict[str, float] = {}
+        for node in self.nodes:
+            work[node.stage] = work.get(node.stage, 0.0) + node.cost.cycles_per_thread
+        return work
+
+    def mean_cost(self, stage: str) -> float:
+        total, count = 0.0, 0
+        for node in self.nodes:
+            if node.stage == stage:
+                total += node.cost.cycles_per_thread
+                count += 1
+        return total / count if count else 0.0

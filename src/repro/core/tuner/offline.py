@@ -1,0 +1,173 @@
+"""Offline auto-tuner (Figure 10).
+
+Evaluates candidate configurations by *trace replay*: each candidate runs
+on a fresh simulated device against the recorded task graph, under a
+timeout equal to the best time found so far — exactly the paper's
+``timeoutexec(mintime, config)`` scheme, which prunes slow configurations
+cheaply.  The configuration with the shortest replayed execution becomes
+the initial hybrid plan; online adaptation then refines it at run time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...gpu.device import GPUDevice
+from ...gpu.specs import GPUSpec
+from ..config import PipelineConfig
+from ..errors import ConfigurationError, ExecutionError, VersaPipeError
+from ..executor import ReplayExecutor
+from ..pipeline import Pipeline
+from ..trace import Trace
+from .profiler import PipelineProfile, replay_placeholders
+from .space import enumerate_configs
+
+
+class DeadlineExceeded(VersaPipeError):
+    """A replayed candidate ran past the current best time."""
+
+
+@dataclass
+class TunerOptions:
+    """Budget knobs for the offline search."""
+
+    #: Maximum number of candidate configurations to evaluate.
+    max_configs: int = 160
+    #: SM-mapping variants per grouping (proportional + transfers).
+    max_sm_variants: int = 6
+    #: Block maps per fine group.
+    max_block_maps: int = 6
+    #: Allow KBK groups inside hybrid plans.
+    include_kbk_groups: bool = True
+    #: Headroom multiplier on the timeout (1.0 = strict better-than-best).
+    timeout_slack: float = 1.05
+    #: Enable online adaptation in the final configuration.
+    online_adaptation: bool = True
+
+
+@dataclass
+class EvaluatedConfig:
+    config: PipelineConfig
+    time_ms: float  # math.inf when timed out or invalid
+    note: str = ""
+
+
+@dataclass
+class TunerReport:
+    best_config: PipelineConfig
+    best_time_ms: float
+    evaluated: list[EvaluatedConfig] = field(default_factory=list)
+
+    @property
+    def num_evaluated(self) -> int:
+        return len(self.evaluated)
+
+    def summary(self) -> str:
+        finished = sum(1 for e in self.evaluated if math.isfinite(e.time_ms))
+        return (
+            f"tuned over {self.num_evaluated} configs ({finished} completed, "
+            f"{self.num_evaluated - finished} pruned): best "
+            f"{self.best_time_ms:.3f} ms with {self.best_config.describe()}"
+        )
+
+
+class OfflineTuner:
+    """Searches the configuration space by replaying a recorded trace."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        spec: GPUSpec,
+        trace: Trace,
+        profile: Optional[PipelineProfile] = None,
+        options: Optional[TunerOptions] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.spec = spec
+        self.trace = trace
+        self.profile = profile
+        self.options = options or TunerOptions()
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, config: PipelineConfig, deadline_cycles: float = math.inf
+    ) -> float:
+        """Replay one configuration; returns milliseconds.
+
+        Raises :class:`DeadlineExceeded` when the run passes the deadline
+        and :class:`ConfigurationError` for infeasible plans.
+        """
+        from ..models.hybrid import HybridEngine  # local import: avoid cycle
+
+        device = GPUDevice(self.spec)
+        executor = ReplayExecutor(self.pipeline, self.trace)
+        engine = HybridEngine(self.pipeline, device, executor, config)
+        engine.start(replay_placeholders(self.trace))
+
+        def over_deadline() -> bool:
+            return device.engine.now > deadline_cycles
+
+        device.engine.run(until=lambda: engine._complete() or over_deadline())
+        if not engine._complete():
+            if over_deadline():
+                raise DeadlineExceeded(
+                    f"config exceeded {deadline_cycles:.0f} cycles"
+                )
+            raise ExecutionError("replay deadlocked (internal error)")
+        return device.elapsed_ms
+
+    # ------------------------------------------------------------------
+    def tune(self) -> TunerReport:
+        """Run the Figure-10 search loop and return the best plan."""
+        options = self.options
+        evaluated: list[EvaluatedConfig] = []
+        best: Optional[PipelineConfig] = None
+        best_ms = math.inf
+        candidates = enumerate_configs(
+            self.pipeline,
+            self.spec,
+            profile=self.profile,
+            max_sm_variants=options.max_sm_variants,
+            max_block_maps=options.max_block_maps,
+            include_kbk_groups=options.include_kbk_groups,
+        )
+        for index, config in enumerate(candidates):
+            if index >= options.max_configs:
+                break
+            deadline = (
+                best_ms
+                * options.timeout_slack
+                * self.spec.clock_ghz
+                * 1e6  # ms -> cycles
+                if math.isfinite(best_ms)
+                else math.inf
+            )
+            try:
+                time_ms = self.evaluate(config, deadline_cycles=deadline)
+            except DeadlineExceeded:
+                evaluated.append(
+                    EvaluatedConfig(config, math.inf, note="timeout")
+                )
+                continue
+            except ConfigurationError as exc:
+                evaluated.append(
+                    EvaluatedConfig(config, math.inf, note=f"invalid: {exc}")
+                )
+                continue
+            evaluated.append(EvaluatedConfig(config, time_ms))
+            if time_ms < best_ms:
+                best, best_ms = config, time_ms
+        if best is None:
+            raise ConfigurationError(
+                "the tuner found no feasible configuration"
+            )
+        final = PipelineConfig(
+            groups=best.groups,
+            policy=best.policy,
+            online_adaptation=options.online_adaptation,
+        )
+        return TunerReport(
+            best_config=final, best_time_ms=best_ms, evaluated=evaluated
+        )

@@ -1,0 +1,235 @@
+"""Configuration-space enumeration with the paper's pruning rules.
+
+The search space is the product of three choices (Section 7):
+
+1. **Stage grouping** — contiguous partitions of the stage list ("a stage
+   can only be grouped with its neighbouring stages"): 2^(n-1) partitions.
+2. **Per-group model** — RTC, Megakernel, fine pipeline or KBK for each
+   group ("It then explores all possible models for each group").
+3. **SM mapping** — how many SMs each group gets — and, for fine groups,
+   **block mapping**, pruned by the paper's two rules: (a) each stage's
+   per-SM count is capped by its occupancy limit, and (b) a stage runs the
+   same number of blocks on every SM it is assigned.
+
+Full enumeration explodes combinatorially, so — like the paper's tuner,
+which bounds wall-clock via its timeout — we bound the *number* of SM
+mappings per grouping (proportional allocation plus single-SM transfers)
+and the number of block maps per fine group (maximal packings first).
+The generator is deterministic, so tuning is reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Optional, Sequence
+
+from ...gpu.occupancy import registers_per_block, shared_mem_per_block
+from ...gpu.specs import GPUSpec
+from ..config import GroupConfig, PipelineConfig, max_fine_blocks
+from ..pipeline import Pipeline
+from .profiler import PipelineProfile
+
+
+def contiguous_partitions(n: int) -> Iterator[tuple[int, ...]]:
+    """All compositions of ``n`` (ordered group sizes), coarsest first."""
+    sized: list[tuple[int, ...]] = []
+    for cuts in itertools.product((0, 1), repeat=n - 1):
+        sizes: list[int] = []
+        current = 1
+        for cut in cuts:
+            if cut:
+                sizes.append(current)
+                current = 1
+            else:
+                current += 1
+        sizes.append(current)
+        sized.append(tuple(sizes))
+    sized.sort(key=lambda sizes: (len(sizes), sizes))
+    return iter(sized)
+
+
+def group_model_candidates(
+    pipeline: Pipeline, stages: tuple[str, ...], spec: GPUSpec
+) -> list[str]:
+    """Execution models worth trying for one stage group."""
+    candidates = ["megakernel"]
+    if not any(pipeline.stage(s).requires_global_sync for s in stages):
+        candidates.append("rtc")
+    if len(stages) > 1 and _fine_feasible(pipeline, stages, spec):
+        candidates.append("fine")
+    candidates.append("kbk")
+    return candidates
+
+
+def _fine_feasible(
+    pipeline: Pipeline, stages: Sequence[str], spec: GPUSpec
+) -> bool:
+    """Can one block of every stage co-reside on a single SM?"""
+    regs = smem = threads = blocks = 0
+    for stage_name in stages:
+        kernel = pipeline.stage(stage_name).kernel_spec()
+        regs += registers_per_block(kernel, spec)
+        smem += shared_mem_per_block(kernel, spec)
+        threads += kernel.threads_per_block
+        blocks += 1
+    return (
+        regs <= spec.registers_per_sm
+        and smem <= spec.shared_mem_per_sm
+        and threads <= spec.max_threads_per_sm
+        and blocks <= spec.max_blocks_per_sm
+    )
+
+
+def sm_allocations(
+    num_sms: int,
+    group_weights: Sequence[float],
+    max_variants: int = 8,
+) -> list[tuple[int, ...]]:
+    """Candidate SM counts per group: proportional plus neighbours.
+
+    Starts from the largest-remainder proportional split and adds every
+    single-SM transfer between group pairs that keeps all counts >= 1.
+    """
+    k = len(group_weights)
+    if k > num_sms:
+        return []
+    if k == 1:
+        return [(num_sms,)]
+    total = sum(max(w, 1e-12) for w in group_weights)
+    raw = [max(w, 1e-12) / total * num_sms for w in group_weights]
+    base = [max(1, int(r)) for r in raw]
+    while sum(base) > num_sms:
+        over = max(
+            (i for i in range(k) if base[i] > 1), key=lambda i: base[i] - raw[i]
+        )
+        base[over] -= 1
+    order = sorted(range(k), key=lambda i: raw[i] - base[i], reverse=True)
+    cursor = 0
+    while sum(base) < num_sms:
+        base[order[cursor % k]] += 1
+        cursor += 1
+
+    variants: list[tuple[int, ...]] = [tuple(base)]
+    for src in range(k):
+        for dst in range(k):
+            if src == dst or base[src] <= 1:
+                continue
+            moved = list(base)
+            moved[src] -= 1
+            moved[dst] += 1
+            candidate = tuple(moved)
+            if candidate not in variants:
+                variants.append(candidate)
+    return variants[:max_variants]
+
+
+def fine_block_maps(
+    pipeline: Pipeline,
+    spec: GPUSpec,
+    stages: tuple[str, ...],
+    max_maps: int = 12,
+) -> list[dict[str, int]]:
+    """Feasible per-SM block maps for a fine group, pruned per the paper.
+
+    Rule 1: each stage's count is bounded by its occupancy maximum.
+    Rule 2 is structural (one count per stage, replicated over the group's
+    SMs).  Maps that are dominated (every count <= another feasible map's)
+    are dropped, and the largest total block counts are tried first.
+    """
+    limits = {s: max_fine_blocks(pipeline, spec, s) for s in stages}
+
+    def fits(candidate: Mapping[str, int]) -> bool:
+        regs = smem = threads = blocks = 0
+        for stage_name, count in candidate.items():
+            kernel = pipeline.stage(stage_name).kernel_spec()
+            regs += registers_per_block(kernel, spec) * count
+            smem += shared_mem_per_block(kernel, spec) * count
+            threads += kernel.threads_per_block * count
+            blocks += count
+        return (
+            regs <= spec.registers_per_sm
+            and smem <= spec.shared_mem_per_sm
+            and threads <= spec.max_threads_per_sm
+            and blocks <= spec.max_blocks_per_sm
+        )
+
+    feasible: list[dict[str, int]] = []
+    for counts in itertools.product(
+        *(range(1, limits[s] + 1) for s in stages)
+    ):
+        candidate = dict(zip(stages, counts))
+        if fits(candidate):
+            feasible.append(candidate)
+    # Keep only maps not dominated by another feasible map.
+    maximal = [
+        m
+        for m in feasible
+        if not any(
+            other is not m and all(other[s] >= m[s] for s in stages)
+            and any(other[s] > m[s] for s in stages)
+            for other in feasible
+        )
+    ]
+    maximal.sort(key=lambda m: (-sum(m.values()), tuple(m[s] for s in stages)))
+    return maximal[:max_maps]
+
+
+def enumerate_configs(
+    pipeline: Pipeline,
+    spec: GPUSpec,
+    profile: Optional[PipelineProfile] = None,
+    max_sm_variants: int = 6,
+    max_block_maps: int = 6,
+    include_kbk_groups: bool = True,
+) -> Iterator[PipelineConfig]:
+    """Yield candidate hybrid configurations, coarsest groupings first."""
+    names = pipeline.stage_names
+    weights = profile.weights() if profile is not None else {}
+    for sizes in contiguous_partitions(len(names)):
+        groups = pipeline.contiguous_groups(sizes)
+        if len(groups) > spec.num_sms:
+            continue
+        group_weights = [
+            sum(weights.get(s, 1.0) for s in g) or 1.0 for g in groups
+        ]
+        model_choices = []
+        for g in groups:
+            choices = group_model_candidates(pipeline, g, spec)
+            if not include_kbk_groups and len(groups) > 1:
+                choices = [c for c in choices if c != "kbk"]
+            model_choices.append(choices)
+        for models in itertools.product(*model_choices):
+            for allocation in sm_allocations(
+                spec.num_sms, group_weights, max_sm_variants
+            ):
+                sm_sets = []
+                next_sm = 0
+                for count in allocation:
+                    sm_sets.append(tuple(range(next_sm, next_sm + count)))
+                    next_sm += count
+                block_map_choices = []
+                for g, model in zip(groups, models):
+                    if model == "fine":
+                        maps = fine_block_maps(
+                            pipeline, spec, g, max_block_maps
+                        )
+                        if not maps:
+                            break
+                        block_map_choices.append(maps)
+                    else:
+                        block_map_choices.append([None])
+                else:
+                    for maps in itertools.product(*block_map_choices):
+                        yield PipelineConfig(
+                            groups=tuple(
+                                GroupConfig(
+                                    stages=g,
+                                    model=model,
+                                    sm_ids=sm_ids,
+                                    block_map=block_map,
+                                )
+                                for g, model, sm_ids, block_map in zip(
+                                    groups, models, sm_sets, maps
+                                )
+                            )
+                        )

@@ -1,0 +1,188 @@
+"""GPU device facade.
+
+:class:`GPUDevice` ties the engine, SMs, streams and hardware scheduler
+together and exposes the operations execution models need:
+
+* ``launch(...)`` — issue a grid of blocks into a stream at a given host
+  time (launch overhead and dispatch latency are charged automatically);
+* ``synchronize()`` — run the event engine until the device is idle,
+  with deadlock detection;
+* ``memcpy_cycles(...)`` — host<->device transfer cost model;
+* per-run :class:`~repro.gpu.metrics.DeviceMetrics`.
+
+A device instance represents **one run**: models create a fresh device (or
+call :meth:`reset`) per measurement so metrics and the clock start at zero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .block import BlockProgram, ThreadBlock
+from .engine import Engine
+from .kernel import KernelSpec
+from .metrics import DeviceMetrics
+from .scheduler import HardwareScheduler, KernelLaunch, Stream
+from .sm import StreamingMultiprocessor
+from .specs import GPUSpec
+
+
+class SimulationDeadlock(RuntimeError):
+    """The event heap drained while launched work was still incomplete."""
+
+
+class GPUDevice:
+    """A simulated GPU plus its host-side timeline."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self.engine = Engine()
+        self.sms = [
+            StreamingMultiprocessor(i, spec, self.engine) for i in range(spec.num_sms)
+        ]
+        self.scheduler = HardwareScheduler(self.sms)
+        self.metrics = DeviceMetrics()
+        self.default_stream = Stream(self.scheduler)
+        #: Host-side clock, in device cycles.  Models advance it as they
+        #: perform host work (launch calls, synchronisation, memcpys).
+        self.host_time = 0.0
+        self._launches: list[KernelLaunch] = []
+
+    # ------------------------------------------------------------------
+    # Streams and launches.
+    # ------------------------------------------------------------------
+    def create_stream(self) -> Stream:
+        return Stream(self.scheduler)
+
+    def launch(
+        self,
+        kernel: KernelSpec,
+        program_factory: Callable[[ThreadBlock], BlockProgram],
+        num_blocks: int,
+        stream: Optional[Stream] = None,
+        sm_filter: Optional[frozenset[int]] = None,
+        per_block_sm: Optional[Sequence[Optional[frozenset[int]]]] = None,
+        on_complete: Optional[Callable[[KernelLaunch], None]] = None,
+        charge_host: bool = True,
+    ) -> KernelLaunch:
+        """Issue a grid of ``num_blocks`` blocks running ``program_factory``.
+
+        The launch is charged ``kernel_launch_us`` on the host timeline
+        (unless ``charge_host`` is False, e.g. for device-side DP launches)
+        and arrives at the device ``launch_latency_us`` later.
+        ``per_block_sm`` optionally gives each block its own SM filter
+        (used by the fine-pipeline block-mapping controller).
+        """
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be >= 0")
+        if per_block_sm is not None and len(per_block_sm) != num_blocks:
+            raise ValueError("per_block_sm must have one entry per block")
+        stream = stream or self.default_stream
+        if charge_host:
+            self.host_time = (
+                max(self.host_time, self.engine.now)
+                + self.spec.us_to_cycles(self.spec.kernel_launch_us)
+            )
+        blocks = []
+        for i in range(num_blocks):
+            filt = per_block_sm[i] if per_block_sm is not None else sm_filter
+            blocks.append(
+                ThreadBlock(kernel, program_factory, sm_filter=filt, tag=i)
+            )
+        launch = KernelLaunch(kernel, blocks, stream)
+        launch.issue_cycle = max(self.host_time, self.engine.now)
+        self.metrics.kernel_launches += 1
+        self.metrics.blocks_launched += num_blocks
+        if on_complete is not None:
+            launch.add_completion_callback(on_complete)
+        arrival = launch.issue_cycle + self.spec.us_to_cycles(
+            self.spec.launch_latency_us
+        )
+        self.engine.schedule_at(arrival, lambda: stream.enqueue(launch))
+        self._launches.append(launch)
+        return launch
+
+    # ------------------------------------------------------------------
+    # Synchronisation.
+    # ------------------------------------------------------------------
+    def _all_done(self) -> bool:
+        return all(l.done for l in self._launches)
+
+    def synchronize(self, charge_host: bool = True) -> None:
+        """Run the engine until every issued launch has completed."""
+        self.engine.run(until=self._all_done)
+        if not self._all_done():
+            pending = [l for l in self._launches if not l.done]
+            raise SimulationDeadlock(
+                f"{len(pending)} launches incomplete with an empty event heap: "
+                + ", ".join(
+                    f"{l.kernel.name}({l._outstanding} blocks left)"
+                    for l in pending[:8]
+                )
+            )
+        self.host_time = max(self.host_time, self.engine.now)
+        if charge_host:
+            self.host_time += self.spec.us_to_cycles(self.spec.sync_overhead_us)
+
+    def run_engine(self, until: Optional[Callable[[], bool]] = None) -> None:
+        """Expose the engine loop for models with custom stop conditions."""
+        self.engine.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Host <-> device transfers.
+    # ------------------------------------------------------------------
+    def memcpy_cycles(self, num_bytes: int) -> float:
+        """Cycles consumed by one host<->device copy of ``num_bytes``."""
+        us = self.spec.pcie_latency_us + (num_bytes / (self.spec.pcie_gbps * 1e3))
+        return self.spec.us_to_cycles(us)
+
+    def memcpy_h2d(self, num_bytes: int) -> None:
+        self.metrics.host_to_device_copies += 1
+        self.metrics.bytes_copied += num_bytes
+        self.host_time = (
+            max(self.host_time, self.engine.now) + self.memcpy_cycles(num_bytes)
+        )
+
+    def memcpy_d2h(self, num_bytes: int) -> None:
+        self.metrics.device_to_host_copies += 1
+        self.metrics.bytes_copied += num_bytes
+        self.host_time = (
+            max(self.host_time, self.engine.now) + self.memcpy_cycles(num_bytes)
+        )
+
+    # ------------------------------------------------------------------
+    # Observation.
+    # ------------------------------------------------------------------
+    def enable_tracing(self):
+        """Attach an execution tracer to every SM; returns the tracer.
+
+        Render the result with :func:`repro.gpu.tracing.render_timeline`.
+        """
+        from .tracing import Tracer
+
+        tracer = Tracer()
+        for sm in self.sms:
+            sm.tracer = tracer
+        return tracer
+
+    def resident_blocks(self) -> int:
+        return sum(len(sm.resident_blocks) for sm in self.sms)
+
+    def note_residency(self) -> None:
+        """Update the peak-resident-blocks metric (models call this after
+        dispatch points of interest)."""
+        self.metrics.peak_resident_blocks = max(
+            self.metrics.peak_resident_blocks, self.resident_blocks()
+        )
+
+    def finalize_metrics(self) -> DeviceMetrics:
+        """Close out per-SM counters and the elapsed clock."""
+        for sm in self.sms:
+            sm._sync()
+            self.metrics.sm_busy_lane_cycles[sm.sm_id] = sm.busy_lane_cycles
+        self.metrics.elapsed_cycles = max(self.engine.now, self.host_time)
+        return self.metrics
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.spec.cycles_to_ms(max(self.engine.now, self.host_time))

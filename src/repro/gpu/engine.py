@@ -1,0 +1,94 @@
+"""Deterministic discrete-event engine.
+
+The whole simulator runs on a single event heap.  Time is measured in
+*cycles* of the simulated device's core clock; the device facade converts to
+micro/milliseconds for reporting.  Determinism is guaranteed by breaking
+time ties with a monotonically increasing sequence number, so repeated runs
+of the same program produce bit-identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class CancelToken:
+    """Handle for a scheduled event that may be cancelled before it fires."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """A minimal, deterministic discrete-event simulation core."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, CancelToken, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> CancelToken:
+        """Schedule ``fn`` to run ``delay`` cycles from now.
+
+        Negative delays are clamped to zero (events cannot fire in the
+        past).  Returns a token that can cancel the event.
+        """
+        if delay < 0:
+            delay = 0.0
+        token = CancelToken()
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), token, fn))
+        return token
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> CancelToken:
+        """Schedule ``fn`` at an absolute time (clamped to >= now)."""
+        return self.schedule(max(0.0, time - self.now), fn)
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            time, _seq, token, fn = heapq.heappop(self._heap)
+            if token.cancelled:
+                continue
+            assert time >= self.now, "event scheduled in the past"
+            self.now = time
+            self._events_processed += 1
+            fn()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Callable[[], bool] | None = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Run events until the heap drains or ``until()`` becomes true.
+
+        ``max_events`` is a runaway guard: exceeding it raises
+        ``RuntimeError`` rather than hanging a test run forever.
+        """
+        for _ in range(max_events):
+            if until is not None and until():
+                return
+            if not self.step():
+                return
+        raise RuntimeError(
+            f"engine exceeded {max_events} events; likely a scheduling livelock"
+        )

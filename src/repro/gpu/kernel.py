@@ -1,0 +1,75 @@
+"""Kernel descriptors.
+
+A :class:`KernelSpec` captures the static resource usage of a GPU kernel:
+registers per thread, shared memory per block, threads per block, and code
+footprint.  These are the quantities the CUDA occupancy calculator consumes,
+and they are where the paper's execution models differ most sharply — a
+megakernel fuses every stage and therefore pays the *maximum* register
+pressure and the *sum* of code footprints, while per-stage kernels pay only
+their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static resource description of one kernel."""
+
+    name: str
+    registers_per_thread: int
+    threads_per_block: int
+    shared_mem_per_block: int = 0
+    #: Approximate machine-code size in bytes (drives instruction-cache
+    #: pressure).
+    code_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers_per_thread must be positive")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be >= 0")
+
+    def fused_with(self, other: "KernelSpec", name: str | None = None) -> "KernelSpec":
+        """Resource usage of a kernel containing both this and ``other``.
+
+        Register pressure and shared memory take the maximum (the fused
+        kernel must satisfy the most demanding stage for every thread), the
+        code footprint is additive, and the block shape takes the wider of
+        the two.
+        """
+        return KernelSpec(
+            name=name or f"{self.name}+{other.name}",
+            registers_per_thread=max(
+                self.registers_per_thread, other.registers_per_thread
+            ),
+            threads_per_block=max(self.threads_per_block, other.threads_per_block),
+            shared_mem_per_block=max(
+                self.shared_mem_per_block, other.shared_mem_per_block
+            ),
+            code_bytes=self.code_bytes + other.code_bytes,
+        )
+
+
+def fuse_specs(specs, name: str) -> KernelSpec:
+    """Fuse several kernel specs into one (e.g. for RTC or Megakernel)."""
+    specs = list(specs)
+    if not specs:
+        raise ValueError("cannot fuse an empty list of kernel specs")
+    fused = specs[0]
+    for spec in specs[1:]:
+        fused = fused.fused_with(spec)
+    # A megakernel carries scheduling-loop overhead on top of the stages'
+    # own register budgets; the paper's measured fused kernels are always
+    # at least as register-hungry as their hungriest stage.
+    return KernelSpec(
+        name=name,
+        registers_per_thread=fused.registers_per_thread,
+        threads_per_block=fused.threads_per_block,
+        shared_mem_per_block=fused.shared_mem_per_block,
+        code_bytes=fused.code_bytes,
+    )

@@ -1,0 +1,102 @@
+"""CUDA-style occupancy calculation.
+
+Given a :class:`~repro.gpu.kernel.KernelSpec` and a
+:class:`~repro.gpu.specs.GPUSpec`, compute how many blocks of that kernel
+can be resident on one SM simultaneously.  This mirrors the CUDA occupancy
+calculator: the binding constraint is the minimum over the register file,
+shared memory, thread count, and block-slot limits.
+
+This single function explains most of the paper's headline results: the
+Reyes megakernel uses 255 registers/thread and therefore fits only **one**
+256-thread block per K20c SM, while VersaPipe's per-stage kernels (111 / 255
+/ 61 registers) fit 2 / 1 / 4 blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .kernel import KernelSpec
+from .specs import GPUSpec
+
+
+def _round_up(value: int, granularity: int) -> int:
+    if granularity <= 1:
+        return value
+    return ((value + granularity - 1) // granularity) * granularity
+
+
+def registers_per_block(kernel: KernelSpec, spec: GPUSpec) -> int:
+    """Register-file footprint of one resident block, after allocation
+    granularity rounding."""
+    per_thread = _round_up(
+        kernel.registers_per_thread * kernel.threads_per_block,
+        spec.register_granularity,
+    )
+    return per_thread
+
+
+def shared_mem_per_block(kernel: KernelSpec, spec: GPUSpec) -> int:
+    """Shared-memory footprint of one resident block after rounding."""
+    if kernel.shared_mem_per_block == 0:
+        return 0
+    return _round_up(kernel.shared_mem_per_block, spec.shared_mem_granularity)
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Breakdown of the occupancy limits for one kernel on one device."""
+
+    kernel_name: str
+    max_blocks_per_sm: int
+    limited_by: str
+    register_limit: int
+    shared_mem_limit: int
+    thread_limit: int
+    block_slot_limit: int
+    #: Resident warps when running ``max_blocks_per_sm`` blocks, as a
+    #: fraction of the device's maximum resident warps.
+    occupancy_fraction: float
+
+
+def max_blocks_per_sm(kernel: KernelSpec, spec: GPUSpec) -> int:
+    """Maximum number of concurrently resident blocks of ``kernel`` per SM."""
+    return occupancy_report(kernel, spec).max_blocks_per_sm
+
+
+def occupancy_report(kernel: KernelSpec, spec: GPUSpec) -> OccupancyReport:
+    """Full occupancy breakdown for ``kernel`` on ``spec``."""
+    reg_block = registers_per_block(kernel, spec)
+    reg_limit = spec.registers_per_sm // reg_block if reg_block else math.inf
+
+    smem_block = shared_mem_per_block(kernel, spec)
+    # A kernel using no shared memory is never shared-memory limited; use a
+    # sentinel larger than any real limit so ties resolve to the true cause.
+    smem_limit = spec.shared_mem_per_sm // smem_block if smem_block else 1 << 30
+
+    thread_limit = spec.max_threads_per_sm // kernel.threads_per_block
+    slot_limit = spec.max_blocks_per_sm
+
+    limits = {
+        "registers": int(reg_limit),
+        "shared_memory": int(smem_limit),
+        "threads": int(thread_limit),
+        "block_slots": int(slot_limit),
+    }
+    max_blocks = min(limits.values())
+    limited_by = min(limits, key=lambda k: limits[k])
+
+    warps_per_block = math.ceil(kernel.threads_per_block / spec.warp_size)
+    occ = (max_blocks * warps_per_block) / spec.max_warps_per_sm if max_blocks else 0.0
+
+    return OccupancyReport(
+        kernel_name=kernel.name,
+        max_blocks_per_sm=max_blocks,
+        limited_by=limited_by,
+        register_limit=limits["registers"],
+        shared_mem_limit=limits["shared_memory"],
+        thread_limit=limits["threads"],
+        block_slot_limit=limits["block_slots"],
+        occupancy_fraction=min(1.0, occ),
+    )

@@ -1,0 +1,244 @@
+"""Streaming multiprocessor: resource accounting and processor sharing.
+
+Each SM owns a register file, shared memory, thread and block-slot budgets
+(admission control, i.e. occupancy), and a compute throughput model:
+
+* The SM delivers ``cores_per_sm * u`` lane-cycles per cycle, where
+  ``u = min(1, active_warps / warps_for_peak)`` models memory-latency
+  hiding — an SM running a single 256-thread block is *not* at peak
+  throughput, which is exactly why occupancy matters and why the paper's
+  low-occupancy megakernels lose.
+* Throughput is shared among resident computing blocks proportionally to
+  their active thread counts (processor sharing), with each block capped at
+  one lane per active thread.
+* Kernels whose code footprint exceeds the instruction cache run at a
+  reduced rate (the paper's "code footprint" metric, Figure 6).
+
+The processor-sharing discipline requires rescaling in-flight work whenever
+block residency changes; ``_sync`` drains elapsed work and ``_reschedule``
+recomputes rates and the next completion event.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from .block import ThreadBlock
+from .engine import CancelToken, Engine
+from .kernel import KernelSpec
+from .occupancy import registers_per_block, shared_mem_per_block
+from .specs import GPUSpec
+
+_EPS = 1e-7
+
+
+class _Segment:
+    """An in-flight Compute command of one block."""
+
+    __slots__ = (
+        "block",
+        "remaining",
+        "threads",
+        "rate",
+        "on_done",
+        "icache_factor",
+        "started",
+        "work",
+    )
+
+    def __init__(self, block, work, threads, on_done, icache_factor, started):
+        self.block = block
+        self.remaining = float(work)
+        self.work = float(work)
+        self.threads = threads
+        self.on_done = on_done
+        self.rate = 0.0
+        self.icache_factor = icache_factor
+        self.started = started
+
+
+class StreamingMultiprocessor:
+    """One SM: admission control plus a shared compute pipeline."""
+
+    def __init__(self, sm_id: int, spec: GPUSpec, engine: Engine) -> None:
+        self.sm_id = sm_id
+        self.spec = spec
+        self.engine = engine
+        self.registers_used = 0
+        self.shared_mem_used = 0
+        self.threads_used = 0
+        self.resident_blocks: list[ThreadBlock] = []
+        self._segments: dict[int, _Segment] = {}
+        self._last_sync = 0.0
+        self._tick_token: Optional[CancelToken] = None
+        self.on_retire: Optional[Callable[[ThreadBlock], None]] = None
+        #: Optional execution tracer (set via GPUDevice.enable_tracing).
+        self.tracer = None
+        # Metrics.
+        self.busy_lane_cycles = 0.0
+        self.blocks_admitted = 0
+
+    # ------------------------------------------------------------------
+    # Admission control (occupancy).
+    # ------------------------------------------------------------------
+    def can_admit(self, kernel: KernelSpec) -> bool:
+        """Would a block of ``kernel`` fit given current residency?"""
+        if len(self.resident_blocks) >= self.spec.max_blocks_per_sm:
+            return False
+        if self.threads_used + kernel.threads_per_block > self.spec.max_threads_per_sm:
+            return False
+        if (
+            self.registers_used + registers_per_block(kernel, self.spec)
+            > self.spec.registers_per_sm
+        ):
+            return False
+        if (
+            self.shared_mem_used + shared_mem_per_block(kernel, self.spec)
+            > self.spec.shared_mem_per_sm
+        ):
+            return False
+        return True
+
+    def admit(self, block: ThreadBlock) -> None:
+        """Allocate resources for ``block`` and start its program."""
+        kernel = block.kernel
+        assert self.can_admit(kernel), "admit() without capacity"
+        self.registers_used += registers_per_block(kernel, self.spec)
+        self.shared_mem_used += shared_mem_per_block(kernel, self.spec)
+        self.threads_used += kernel.threads_per_block
+        self.resident_blocks.append(block)
+        self.blocks_admitted += 1
+        block.sm = self
+        block.start()
+
+    def retire(self, block: ThreadBlock) -> None:
+        """Free ``block``'s resources (called when its program ends)."""
+        kernel = block.kernel
+        self.resident_blocks.remove(block)
+        self.registers_used -= registers_per_block(kernel, self.spec)
+        self.shared_mem_used -= shared_mem_per_block(kernel, self.spec)
+        self.threads_used -= kernel.threads_per_block
+        if self.on_retire is not None:
+            self.on_retire(block)
+
+    # ------------------------------------------------------------------
+    # Processor-sharing compute model.
+    # ------------------------------------------------------------------
+    def _code_factor(self, kernel: KernelSpec) -> float:
+        """Instruction-cache slowdown for a kernel's code footprint."""
+        over = kernel.code_bytes - self.spec.icache_bytes
+        if over <= 0:
+            return 1.0
+        frac = min(1.0, over / self.spec.icache_bytes)
+        return 1.0 + self.spec.icache_penalty * frac
+
+    def add_work(
+        self,
+        block: ThreadBlock,
+        work: float,
+        threads: int,
+        on_done: Callable[[], None],
+    ) -> None:
+        """Register a Compute segment for a resident block."""
+        self._sync()
+        if work <= _EPS:
+            # Zero-cost compute completes immediately (but asynchronously,
+            # to keep the event ordering uniform).
+            self.engine.schedule(0.0, on_done)
+            return
+        seg = _Segment(
+            block,
+            work,
+            threads,
+            on_done,
+            self._code_factor(block.kernel),
+            self.engine.now,
+        )
+        self._segments[block.block_id] = seg
+        self._reschedule()
+
+    def active_threads(self) -> int:
+        return sum(seg.threads for seg in self._segments.values())
+
+    def _utilization(self) -> float:
+        """Latency-hiding factor from resident warps.
+
+        All resident warps count, not only those in a Compute segment: an
+        idle persistent block busy-polls its work queue, so its warps still
+        occupy scheduler slots and cover memory latency for the others.
+        """
+        warps = sum(
+            math.ceil(block.kernel.threads_per_block / self.spec.warp_size)
+            for block in self.resident_blocks
+        )
+        if warps <= 0:
+            return 0.0
+        return min(1.0, warps / self.spec.warps_for_peak)
+
+    def _sync(self) -> None:
+        """Drain elapsed work from all segments up to the current time."""
+        now = self.engine.now
+        elapsed = now - self._last_sync
+        if elapsed > 0:
+            for seg in self._segments.values():
+                drained = seg.rate * elapsed
+                seg.remaining = max(0.0, seg.remaining - drained)
+                self.busy_lane_cycles += drained
+        self._last_sync = now
+
+    def _reschedule(self) -> None:
+        """Recompute segment rates and the next completion tick."""
+        if self._tick_token is not None:
+            self._tick_token.cancel()
+            self._tick_token = None
+        if not self._segments:
+            return
+        lanes = self.spec.cores_per_sm * self._utilization()
+        total_threads = self.active_threads()
+        horizon = math.inf
+        for seg in self._segments.values():
+            share = lanes * (seg.threads / total_threads) if total_threads else 0.0
+            rate = min(float(seg.threads), share) / seg.icache_factor
+            seg.rate = rate
+            if rate > 0:
+                horizon = min(horizon, seg.remaining / rate)
+        if math.isinf(horizon):
+            raise RuntimeError("SM has compute segments but zero throughput")
+        # Guarantee forward progress even when the horizon underflows.
+        self._tick_token = self.engine.schedule(max(horizon, 1e-9), self._tick)
+
+    def _tick(self) -> None:
+        self._tick_token = None
+        self._sync()
+        # The completion threshold scales with the drain rate: floating-point
+        # cancellation can leave a residue of remaining work smaller than one
+        # rate-tick, which would otherwise re-arm zero-length ticks forever.
+        finished = [
+            seg
+            for seg in self._segments.values()
+            if seg.remaining <= _EPS * max(1.0, seg.rate)
+        ]
+        for seg in finished:
+            del self._segments[seg.block.block_id]
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.sm_id,
+                    seg.block.kernel.name,
+                    seg.started,
+                    self.engine.now,
+                    seg.work,
+                )
+        # Resuming blocks may add new segments (each add calls _reschedule);
+        # make sure we also reschedule when nothing was added back.
+        for seg in finished:
+            seg.on_done()
+        self._sync()
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SM{self.sm_id} blocks={len(self.resident_blocks)} "
+            f"threads={self.threads_used} regs={self.registers_used}>"
+        )

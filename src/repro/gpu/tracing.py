@@ -1,0 +1,129 @@
+"""Execution tracing: per-SM activity records and a text Gantt renderer.
+
+Attach a :class:`Tracer` to a device before running and every Compute
+segment is recorded as ``(sm_id, kernel, start_cycle, end_cycle, work)``.
+:func:`render_timeline` turns the records into a terminal Gantt chart —
+one row per SM, one column per time bucket, showing which kernel dominated
+each bucket.  This is how the examples visualise the difference between,
+say, a megakernel (every SM runs the same fused kernel) and a coarse
+pipeline (SMs partitioned per stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One completed Compute interval on one SM."""
+
+    sm_id: int
+    kernel: str
+    start: float
+    end: float
+    work: float  # thread-cycles drained
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects compute segments from every SM of a device."""
+
+    def __init__(self) -> None:
+        self.segments: list[TraceSegment] = []
+
+    def record(
+        self, sm_id: int, kernel: str, start: float, end: float, work: float
+    ) -> None:
+        if end > start:
+            self.segments.append(
+                TraceSegment(sm_id, kernel, start, end, work)
+            )
+
+    # ------------------------------------------------------------------
+    def kernels(self) -> list[str]:
+        """Distinct kernel names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for segment in self.segments:
+            seen.setdefault(segment.kernel, None)
+        return list(seen)
+
+    def busy_cycles_by_kernel(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for segment in self.segments:
+            totals[segment.kernel] = (
+                totals.get(segment.kernel, 0.0) + segment.duration
+            )
+        return totals
+
+    def span(self) -> tuple[float, float]:
+        if not self.segments:
+            return (0.0, 0.0)
+        return (
+            min(s.start for s in self.segments),
+            max(s.end for s in self.segments),
+        )
+
+
+#: Symbols assigned to kernels in the timeline, in appearance order.
+_GLYPHS = "#*+o@%=&$~^!123456789"
+
+
+def render_timeline(
+    tracer: Tracer,
+    num_sms: int,
+    width: int = 72,
+    clock_ghz: Optional[float] = None,
+) -> str:
+    """A text Gantt chart: rows are SMs, columns are time buckets.
+
+    Each bucket shows the glyph of the kernel with the most busy time in
+    it, ``.`` for idle.  A legend maps glyphs to kernel names.
+    """
+    start, end = tracer.span()
+    if end <= start:
+        return "(no activity recorded)"
+    bucket = (end - start) / width
+    glyph_of = {
+        kernel: _GLYPHS[i % len(_GLYPHS)]
+        for i, kernel in enumerate(tracer.kernels())
+    }
+    # busy[sm][column][kernel] -> cycles
+    busy: list[list[dict[str, float]]] = [
+        [dict() for _ in range(width)] for _ in range(num_sms)
+    ]
+    for segment in tracer.segments:
+        first = int((segment.start - start) / bucket)
+        last = min(width - 1, int((segment.end - start) / bucket))
+        for column in range(first, last + 1):
+            b0 = start + column * bucket
+            b1 = b0 + bucket
+            overlap = min(segment.end, b1) - max(segment.start, b0)
+            if overlap > 0:
+                cell = busy[segment.sm_id][column]
+                cell[segment.kernel] = cell.get(segment.kernel, 0.0) + overlap
+
+    lines = []
+    for sm_id in range(num_sms):
+        row = []
+        for column in range(width):
+            cell = busy[sm_id][column]
+            if not cell:
+                row.append(".")
+            else:
+                top = max(cell, key=lambda k: cell[k])
+                row.append(glyph_of[top])
+        lines.append(f"SM{sm_id:02d} |{''.join(row)}|")
+
+    if clock_ghz is not None:
+        total_us = (end - start) / (clock_ghz * 1000.0)
+        lines.append(f"      0 {'-' * (width - 10)} {total_us:.0f} us")
+    legend = "  ".join(
+        f"{glyph}={kernel}" for kernel, glyph in glyph_of.items()
+    )
+    lines.append(f"legend: {legend}  .=idle")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Evaluation harness: runs (workload x model x device) cells, renders the
+paper's tables and figures as text, and compares measured shapes against
+the paper's reported numbers."""
+
+from .runner import ExperimentCell, run_cell, run_versapipe, run_workload_models
+from .tables import format_table, ratio, render_figure11, render_table2
+
+__all__ = [
+    "ExperimentCell",
+    "format_table",
+    "ratio",
+    "render_figure11",
+    "render_table2",
+    "run_cell",
+    "run_versapipe",
+    "run_workload_models",
+]

@@ -1,0 +1,235 @@
+"""Experiment runner: one (workload, model, device) cell at a time.
+
+Used by every benchmark; results are plain dataclasses so the table
+renderers and the tests can consume them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.executor import FunctionalExecutor, ReplayExecutor
+from ..core.models import (
+    DynamicParallelismModel,
+    HybridModel,
+    KBKModel,
+    MegakernelModel,
+    RTCModel,
+)
+from ..core.models.base import ExecutionModel
+from ..core.result import RunResult
+from ..core.trace import Trace
+from ..core.tuner.profiler import profile_pipeline, replay_placeholders
+from ..gpu.device import GPUDevice
+from ..gpu.specs import GPUSpec, K20C
+from ..workloads.registry import WorkloadSpec, get_workload
+
+
+@dataclass
+class ExperimentCell:
+    """One measured cell of a paper table/figure."""
+
+    workload: str
+    model: str
+    device: str
+    time_ms: float
+    #: Extrapolated to the paper's full workload size.
+    scaled_ms: float
+    result: RunResult = field(repr=False, default=None)
+
+
+def run_cell(
+    spec: WorkloadSpec,
+    model: ExecutionModel,
+    gpu: GPUSpec,
+    params: Optional[object] = None,
+    check: bool = True,
+    label: Optional[str] = None,
+) -> ExperimentCell:
+    """Run one workload under one model on one simulated device."""
+    params = params if params is not None else spec.default_params()
+    pipeline = spec.build_pipeline(params)
+    device = GPUDevice(gpu)
+    executor = FunctionalExecutor(pipeline)
+    result = model.run(pipeline, device, executor, spec.initial_items(params))
+    if check:
+        spec.check_outputs(params, result.outputs)
+    scale = spec.time_scale(params)
+    return ExperimentCell(
+        workload=spec.name,
+        model=label or result.model,
+        device=gpu.name,
+        time_ms=result.time_ms,
+        scaled_ms=result.time_ms * scale,
+        result=result,
+    )
+
+
+def run_versapipe(
+    spec: WorkloadSpec,
+    gpu: GPUSpec,
+    params: Optional[object] = None,
+    check: bool = True,
+) -> ExperimentCell:
+    """Run the workload as VersaPipe would: pick the fastest hybrid plan.
+
+    The paper's VersaPipe numbers come from the auto-tuner's best
+    configuration; mirroring that, this evaluates the workload's
+    paper-described plan *and* the all-stage megakernel grouping (always in
+    the tuner's search space) — both with online adaptation — and reports
+    the faster.
+    """
+    from ..core.config import GroupConfig, PipelineConfig
+
+    params = params if params is not None else spec.default_params()
+    pipeline = spec.build_pipeline(params)
+    described = spec.versapipe_config(pipeline, gpu, params)
+    candidates = [
+        PipelineConfig(
+            groups=described.groups,
+            policy=described.policy,
+            online_adaptation=True,
+        ),
+        PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=tuple(pipeline.stage_names),
+                    model="megakernel",
+                    sm_ids=tuple(range(gpu.num_sms)),
+                ),
+            ),
+            online_adaptation=True,
+        ),
+    ]
+    best: Optional[ExperimentCell] = None
+    for config in candidates:
+        cell = run_cell(
+            spec,
+            HybridModel(config),
+            gpu,
+            params,
+            check=check,
+            label="versapipe",
+        )
+        if best is None or cell.time_ms < best.time_ms:
+            best = cell
+    return best
+
+
+def run_workload_models(
+    name: str,
+    gpu: GPUSpec = K20C,
+    params: Optional[object] = None,
+    check: bool = True,
+) -> dict[str, ExperimentCell]:
+    """The three Table 2 columns for one workload: baseline, megakernel,
+    versapipe."""
+    spec = get_workload(name)
+    params = params if params is not None else spec.default_params()
+    return {
+        "baseline": run_cell(
+            spec,
+            spec.baseline_model(params),
+            gpu,
+            params,
+            check=check,
+            label=spec.baseline_name,
+        ),
+        "megakernel": run_cell(
+            spec, MegakernelModel(), gpu, params, check=check
+        ),
+        "versapipe": run_versapipe(spec, gpu, params, check=check),
+    }
+
+
+def longest_stage_ms(
+    spec: WorkloadSpec, gpu: GPUSpec, params: Optional[object] = None
+) -> tuple[str, float]:
+    """Table 2's "Longest Stage time": each stage measured standalone.
+
+    Mirrors the paper's methodology (Section 8.5): replay each stage's
+    recorded tasks alone on the whole device — a persistent single-stage
+    kernel at its own occupancy, with no interference or queueing from the
+    other stages — and report the slowest stage.
+    """
+    from ..core.config import GroupConfig, PipelineConfig
+    from ..core.models.hybrid import HybridEngine
+    from ..core.pipeline import Pipeline as PipelineCls
+    from ..core.stage import Stage as StageCls
+
+    params = params if params is not None else spec.default_params()
+    pipeline = spec.build_pipeline(params)
+    _profile, trace = profile_pipeline(
+        pipeline, gpu, spec.initial_items(params)
+    )
+    worst_stage, worst_ms = "", 0.0
+    for stage_name in pipeline.stage_names:
+        sub_trace = _single_stage_trace(trace, stage_name)
+        if not sub_trace.initial.get(stage_name):
+            continue
+        solo = _solo_pipeline(pipeline.stage(stage_name))
+        device = GPUDevice(gpu)
+        executor = ReplayExecutor(solo, sub_trace)
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=(stage_name,),
+                    model="megakernel",
+                    sm_ids=tuple(range(gpu.num_sms)),
+                ),
+            )
+        )
+        engine = HybridEngine(solo, device, executor, config)
+        result = engine.run(replay_placeholders(sub_trace))
+        if result.time_ms > worst_ms:
+            worst_stage, worst_ms = stage_name, result.time_ms
+    return worst_stage, worst_ms
+
+
+def _solo_pipeline(stage):
+    """A one-stage pipeline whose stage mirrors ``stage``'s resources.
+
+    The replayed trace carries the recorded costs, so the proxy never
+    executes; it only contributes kernel-resource metadata.
+    """
+    from ..core.pipeline import Pipeline as PipelineCls
+    from ..core.stage import Stage as StageCls
+
+    proxy_cls = type(
+        f"Solo_{stage.name}",
+        (StageCls,),
+        {
+            "name": stage.name,
+            "emits_to": (),
+            "threads_per_item": stage.threads_per_item,
+            "threads_per_block": stage.threads_per_block,
+            "registers_per_thread": stage.registers_per_thread,
+            "shared_mem_per_block": stage.shared_mem_per_block,
+            "code_bytes": stage.code_bytes,
+            "item_bytes": stage.item_bytes,
+        },
+    )
+    return PipelineCls([proxy_cls()], name=f"solo:{stage.name}")
+
+
+def _single_stage_trace(trace: Trace, stage_name: str) -> Trace:
+    """A trace containing only ``stage_name``'s tasks, as childless roots."""
+    from ..core.trace import TraceNode
+
+    sub = Trace()
+    for node in trace.nodes:
+        if node.stage != stage_name:
+            continue
+        new_id = len(sub.nodes)
+        sub.nodes.append(
+            TraceNode(
+                node_id=new_id,
+                stage=stage_name,
+                cost=node.cost,
+                children=(),
+                n_outputs=0,
+            )
+        )
+        sub.initial.setdefault(stage_name, []).append(new_id)
+    return sub

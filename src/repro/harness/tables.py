@@ -1,0 +1,116 @@
+"""Plain-text rendering of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..workloads.registry import WorkloadSpec
+from .runner import ExperimentCell
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a simple fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        raise ValueError("cannot take a speedup against zero time")
+    return numerator / denominator
+
+
+def render_table2(
+    measurements: dict[str, dict[str, ExperimentCell]],
+    specs: dict[str, WorkloadSpec],
+    longest: Optional[dict[str, tuple[str, float]]] = None,
+) -> str:
+    """Table 2: absolute times on K20c, paper vs measured (scaled)."""
+    headers = [
+        "Program",
+        "RTC/KBK ms (paper)",
+        "Megakernel ms (paper)",
+        "VersaPipe ms (paper)",
+        "Longest stage (paper)",
+        "itemSz",
+    ]
+    rows = []
+    for name, cells in measurements.items():
+        spec = specs[name]
+        longest_txt = "-"
+        if longest and name in longest:
+            stage, time_ms = longest[name]
+            scale = cells["versapipe"].scaled_ms / max(
+                1e-12, cells["versapipe"].time_ms
+            )
+            longest_txt = (
+                f"{time_ms * scale:.2f} [{stage}] ({spec.paper.longest_stage_ms})"
+            )
+        rows.append(
+            [
+                name,
+                f"{cells['baseline'].scaled_ms:.2f} ({spec.paper.baseline_ms})",
+                f"{cells['megakernel'].scaled_ms:.2f} ({spec.paper.megakernel_ms})",
+                f"{cells['versapipe'].scaled_ms:.2f} ({spec.paper.versapipe_ms})",
+                longest_txt,
+                f"{spec.paper.item_bytes}B",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def render_figure11(
+    measurements: dict[str, dict[str, ExperimentCell]],
+    specs: dict[str, WorkloadSpec],
+    device_name: str,
+) -> str:
+    """Figure 11: speedups over the basic model, measured vs paper."""
+    headers = [
+        "Program",
+        "MK speedup",
+        "VP speedup",
+        "MK speedup (paper)",
+        "VP speedup (paper)",
+    ]
+    rows = []
+    mk_speedups, vp_speedups = [], []
+    for name, cells in measurements.items():
+        spec = specs[name]
+        base = cells["baseline"].time_ms
+        mk = ratio(base, cells["megakernel"].time_ms)
+        vp = ratio(base, cells["versapipe"].time_ms)
+        mk_speedups.append(mk)
+        vp_speedups.append(vp)
+        paper_mk = spec.paper.baseline_ms / spec.paper.megakernel_ms
+        paper_vp = spec.paper.baseline_ms / spec.paper.versapipe_ms
+        rows.append(
+            [name, f"{mk:.2f}x", f"{vp:.2f}x", f"{paper_mk:.2f}x", f"{paper_vp:.2f}x"]
+        )
+    geo_mk = _geomean(mk_speedups)
+    geo_vp = _geomean(vp_speedups)
+    footer = (
+        f"\n[{device_name}] VersaPipe mean speedup over basic: "
+        f"{sum(vp_speedups) / len(vp_speedups):.2f}x (geomean {geo_vp:.2f}x); "
+        f"Megakernel: {sum(mk_speedups) / len(mk_speedups):.2f}x "
+        f"(geomean {geo_mk:.2f}x)"
+    )
+    return format_table(headers, rows) + footer
+
+
+def _geomean(values: Sequence[float]) -> float:
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,17 @@
+"""The six pipeline applications of the paper's evaluation (Table 1)."""
+
+from .registry import (
+    PaperNumbers,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    register_workload,
+)
+
+__all__ = [
+    "PaperNumbers",
+    "WorkloadSpec",
+    "all_workloads",
+    "get_workload",
+    "register_workload",
+]

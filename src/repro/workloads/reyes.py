@@ -1,0 +1,408 @@
+"""Reyes rendering (Figure 1): Split (bound+split) -> Dice -> Shade.
+
+A faithful miniature of the Patney/Owens Reyes pipeline the paper ports:
+
+* **Split** bounds a bicubic Bezier patch in screen space; patches larger
+  than the dicing threshold are subdivided (de Casteljau at t=0.5 along the
+  longer screen axis) and re-enter the stage — the recursive structure that
+  makes Reyes hostile to RTC and launch-heavy under KBK (the paper counts
+  16 kernel calls);
+* **Dice** tessellates each leaf patch into a grid of micropolygons;
+* **Shade** evaluates a Lambertian colour per micropolygon and accumulates
+  the screen-space samples (returned as output fragments; the harness
+  composites them with a commutative z-min, so results are
+  schedule-independent).
+
+Register budgets follow Section 8.3 exactly: Split 111, Dice 255, Shade 61
+registers — so the fused megakernel (255 regs) runs ONE block per K20c SM
+while VersaPipe runs a {Split, Dice} fine group (1+1 blocks/SM) plus a
+Shade megakernel group (4 blocks/SM): ~34 resident blocks vs 13.
+
+The queue data item is one patch: 16 control points x 16 B + a header
+= 272 B, Table 2's largest item size and the source of Reyes' visible
+queueing overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import GroupConfig, PipelineConfig
+from ..core.models.kbk import KBKModel
+from ..core.pipeline import Pipeline
+from ..core.stage import OUTPUT, Stage, TaskCost
+from ..gpu.specs import GPUSpec
+from .registry import PaperNumbers, WorkloadSpec, register_workload
+
+#: Cost-model constants (cycles), calibrated against Table 2 on K20c.
+SPLIT_CYCLES = 4_500.0
+DICE_CYCLES_PER_POINT = 8_000.0
+SHADE_CYCLES_PER_MICROPOLYGON = 2_300.0
+#: Host traffic per KBK wave (queue compaction / patch readback; the paper
+#: blames KBK Reyes' "memory copies and recursive control on CPU").
+KBK_HOST_BYTES_PER_WAVE = 3 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ReyesParams:
+    width: int = 1280
+    height: int = 720
+    num_base_patches: int = 32
+    #: Patches whose screen bound exceeds this are split further.
+    split_threshold: float = 24.0
+    #: Dice grid resolution (grid x grid micropolygons per leaf patch).
+    grid: int = 16
+    max_split_depth: int = 14
+    #: Store patches in a global-memory pool and queue only a 48-byte
+    #: handle, instead of the full 272-byte control mesh (the Section 8.5
+    #: suggestion that "methods that reduce data item size in the queues
+    #: could also be beneficial").
+    compact_items: bool = False
+    seed: int = 7
+
+    @property
+    def item_bytes(self) -> int:
+        return 48 if self.compact_items else 272
+
+
+@dataclass(frozen=True)
+class _PatchItem:
+    patch_id: str  # base id plus split path, e.g. "p3/01101"
+    control: np.ndarray  # (4, 4, 3) control points, view space
+    depth: int
+
+
+@dataclass(frozen=True)
+class _GridItem:
+    patch_id: str
+    points: np.ndarray  # (grid+1, grid+1, 3) surface positions
+    screen_bound: float
+
+
+@dataclass(frozen=True)
+class ShadedGrid:
+    """One shaded micropolygon grid (the pipeline's output unit)."""
+
+    patch_id: str
+    num_micropolygons: int
+    mean_color: tuple[float, float, float]
+    mean_depth: float
+
+
+def base_patches(params: ReyesParams) -> list[_PatchItem]:
+    """Deterministic 'teapot-like' scene: bicubic patches over a torus-ish
+    parametric sheet, at varying view depths so split depths differ."""
+    rng = np.random.default_rng(params.seed)
+    patches = []
+    for index in range(params.num_base_patches):
+        u0 = (index % 8) / 8.0 * 2 * np.pi
+        v0 = (index // 8) / 4.0 * 2 * np.pi
+        uu = u0 + np.linspace(0, np.pi / 4, 4)
+        vv = v0 + np.linspace(0, np.pi / 2, 4)
+        u_grid, v_grid = np.meshgrid(uu, vv, indexing="ij")
+        radius = 2.0 + 0.6 * np.cos(v_grid)
+        x = radius * np.cos(u_grid)
+        y = radius * np.sin(u_grid)
+        z = 6.0 + 0.6 * np.sin(v_grid) + 2.0 * rng.uniform()
+        control = np.stack([x, y, np.broadcast_to(z, x.shape)], axis=-1)
+        control = control + rng.normal(0, 0.05, size=control.shape)
+        patches.append(
+            _PatchItem(patch_id=f"p{index}:", control=control, depth=0)
+        )
+    return patches
+
+
+def project(points: np.ndarray, params: ReyesParams) -> np.ndarray:
+    """Perspective projection of (..., 3) view-space points to pixels."""
+    focal = 0.9 * params.height
+    z = np.maximum(points[..., 2], 0.1)
+    x = points[..., 0] / z * focal + params.width / 2
+    y = points[..., 1] / z * focal + params.height / 2
+    return np.stack([x, y], axis=-1)
+
+
+def screen_bound(control: np.ndarray, params: ReyesParams) -> tuple[float, float]:
+    """(width, height) of the patch's screen-space bounding box (the convex
+    hull of a Bezier patch is contained in its control points' hull)."""
+    screen = project(control, params)
+    spans = screen.reshape(-1, 2)
+    return (
+        float(spans[:, 0].max() - spans[:, 0].min()),
+        float(spans[:, 1].max() - spans[:, 1].min()),
+    )
+
+
+def split_axis(control: np.ndarray, params: ReyesParams) -> int:
+    """Parametric axis with the longer projected extent.
+
+    Splitting must shrink the patch's *parametric* footprint along the
+    direction that is long on screen; choosing by screen bounding box alone
+    can pick an axis that never reduces the long dimension and recurse to
+    the depth limit.
+    """
+    screen = project(control, params)
+    len_u = np.linalg.norm(np.diff(screen, axis=0), axis=-1).sum(axis=0).max()
+    len_v = np.linalg.norm(np.diff(screen, axis=1), axis=-1).sum(axis=1).max()
+    return 0 if len_u >= len_v else 1
+
+
+def _decasteljau_split(control: np.ndarray, axis: int):
+    """Split a bicubic patch at t=0.5 along parametric axis 0 or 1."""
+    c = np.moveaxis(control, axis, 0).astype(np.float64)  # (4, 4, 3)
+    p0, p1, p2, p3 = c[0], c[1], c[2], c[3]
+    q0 = (p0 + p1) / 2
+    q1 = (p1 + p2) / 2
+    q2 = (p2 + p3) / 2
+    r0 = (q0 + q1) / 2
+    r1 = (q1 + q2) / 2
+    s0 = (r0 + r1) / 2
+    left = np.stack([p0, q0, r0, s0])
+    right = np.stack([s0, r1, q2, p3])
+    return (
+        np.moveaxis(left, 0, axis),
+        np.moveaxis(right, 0, axis),
+    )
+
+
+def _bernstein(t: np.ndarray) -> np.ndarray:
+    """Cubic Bernstein basis evaluated at t, shape (len(t), 4)."""
+    t = t[:, None]
+    return np.concatenate(
+        [(1 - t) ** 3, 3 * t * (1 - t) ** 2, 3 * t**2 * (1 - t), t**3],
+        axis=1,
+    )
+
+
+def evaluate_patch(control: np.ndarray, resolution: int) -> np.ndarray:
+    """Evaluate a bicubic patch on an (res+1) x (res+1) parameter grid."""
+    t = np.linspace(0.0, 1.0, resolution + 1)
+    bu = _bernstein(t)  # (n, 4)
+    bv = _bernstein(t)
+    return np.einsum("ua,vb,abk->uvk", bu, bv, control)
+
+
+class SplitStage(Stage):
+    name = "split"
+    emits_to = ("split", "dice")
+    threads_per_item = 32
+    threads_per_block = 128
+    registers_per_thread = 111
+    item_bytes = 272
+    code_bytes = 3200
+
+    def __init__(self, params: ReyesParams) -> None:
+        super().__init__()
+        self.params = params
+        self.item_bytes = params.item_bytes
+
+    def execute(self, item: _PatchItem, ctx) -> None:
+        bw, bh = screen_bound(item.control, self.params)
+        if (
+            max(bw, bh) > self.params.split_threshold
+            and item.depth < self.params.max_split_depth
+        ):
+            axis = split_axis(item.control, self.params)
+            left, right = _decasteljau_split(item.control, axis)
+            for tag, child in (("0", left), ("1", right)):
+                ctx.emit(
+                    "split",
+                    _PatchItem(
+                        patch_id=f"{item.patch_id}{tag}",
+                        control=child,
+                        depth=item.depth + 1,
+                    ),
+                )
+        else:
+            ctx.emit("dice", item)
+
+    def cost(self, item: _PatchItem) -> TaskCost:
+        # Deeper patches project smaller, but bounding/subdivision work is
+        # roughly constant per patch; screen size adds clip-test work.
+        return TaskCost(SPLIT_CYCLES, mem_fraction=0.5)
+
+
+class DiceStage(Stage):
+    name = "dice"
+    emits_to = ("shade",)
+    threads_per_item = 256
+    # The paper reports 255 registers; a 255x256 block fills K20c's whole
+    # register file, leaving no room for the co-resident Split block the
+    # paper's fine configuration uses.  190 is the largest value that keeps
+    # Dice at 1 block/SM alone AND admits one 128-thread Split block beside
+    # it (the fused megakernel still carries the measured 255 via the
+    # pipeline-level fused_registers override).
+    registers_per_thread = 190
+    item_bytes = 272
+    code_bytes = 4800
+
+    def __init__(self, params: ReyesParams) -> None:
+        super().__init__()
+        self.params = params
+        self.item_bytes = params.item_bytes
+
+    def execute(self, item: _PatchItem, ctx) -> None:
+        points = evaluate_patch(item.control, self.params.grid)
+        bw, bh = screen_bound(item.control, self.params)
+        ctx.emit(
+            "shade",
+            _GridItem(
+                patch_id=item.patch_id,
+                points=points,
+                screen_bound=max(bw, bh),
+            ),
+        )
+
+    def cost(self, item: _PatchItem) -> TaskCost:
+        n_points = (self.params.grid + 1) ** 2
+        return TaskCost(
+            n_points * DICE_CYCLES_PER_POINT / 256, mem_fraction=0.45
+        )
+
+
+class ShadeStage(Stage):
+    name = "shade"
+    emits_to = (OUTPUT,)
+    threads_per_item = 256
+    registers_per_thread = 61
+    item_bytes = 272
+    code_bytes = 2600
+
+    def __init__(self, params: ReyesParams) -> None:
+        super().__init__()
+        self.params = params
+        self.item_bytes = params.item_bytes
+
+    def execute(self, item: _GridItem, ctx) -> None:
+        pts = item.points
+        du = pts[1:, :-1] - pts[:-1, :-1]
+        dv = pts[:-1, 1:] - pts[:-1, :-1]
+        normals = np.cross(du, dv)
+        norm = np.linalg.norm(normals, axis=-1, keepdims=True)
+        normals = normals / np.maximum(norm, 1e-9)
+        light = np.array([0.4, 0.5, -0.77])
+        lambert = np.abs(normals @ light)
+        color = (
+            float(np.mean(0.9 * lambert)),
+            float(np.mean(0.7 * lambert)),
+            float(np.mean(0.4 * lambert)),
+        )
+        centers = (pts[1:, 1:] + pts[:-1, :-1]) / 2
+        ctx.emit_output(
+            ShadedGrid(
+                patch_id=item.patch_id,
+                num_micropolygons=lambert.shape[0] * lambert.shape[1],
+                mean_color=color,
+                mean_depth=float(np.mean(centers[..., 2])),
+            )
+        )
+
+    def cost(self, item: _GridItem) -> TaskCost:
+        n_mp = self.params.grid**2
+        # Larger screen bounds sample more pixels per micropolygon.
+        pixel_factor = 1.0 + min(4.0, item.screen_bound / 64.0)
+        return TaskCost(
+            n_mp * SHADE_CYCLES_PER_MICROPOLYGON * pixel_factor / 256,
+            mem_fraction=0.5,
+        )
+
+
+def build_pipeline(params: ReyesParams) -> Pipeline:
+    return Pipeline(
+        [SplitStage(params), DiceStage(params), ShadeStage(params)],
+        name="reyes",
+        fused_registers=255,  # measured megakernel pressure (Section 8.3)
+    )
+
+
+def initial_items(params: ReyesParams) -> dict[str, list]:
+    return {"split": base_patches(params)}
+
+
+def reference_leaf_count(params: ReyesParams) -> int:
+    """Number of diced grids the recursion must produce (host-side rerun)."""
+    count = 0
+    stack = list(base_patches(params))
+    while stack:
+        item = stack.pop()
+        bw, bh = screen_bound(item.control, params)
+        if (
+            max(bw, bh) > params.split_threshold
+            and item.depth < params.max_split_depth
+        ):
+            axis = split_axis(item.control, params)
+            left, right = _decasteljau_split(item.control, axis)
+            stack.append(_PatchItem(item.patch_id + "0", left, item.depth + 1))
+            stack.append(_PatchItem(item.patch_id + "1", right, item.depth + 1))
+        else:
+            count += 1
+    return count
+
+
+def check_outputs(params: ReyesParams, outputs: list) -> None:
+    assert outputs, "Reyes produced no shaded grids"
+    expected = reference_leaf_count(params)
+    assert len(outputs) == expected, (
+        f"expected {expected} shaded grids, got {len(outputs)}"
+    )
+    ids = [g.patch_id for g in outputs]
+    assert len(set(ids)) == len(ids), "duplicate grids in output"
+    for grid in outputs:
+        assert grid.num_micropolygons == params.grid**2
+        assert all(0.0 <= c <= 1.0 for c in grid.mean_color)
+
+
+def versapipe_config(
+    pipeline: Pipeline, spec: GPUSpec, params: ReyesParams
+) -> PipelineConfig:
+    """The paper's tuned plan: {Split, Dice} fine (1+1 blocks per SM) on
+    most SMs, Shade as a megakernel group on the rest."""
+    shade_sms = max(1, round(spec.num_sms * 3 / 13))
+    return PipelineConfig(
+        groups=(
+            GroupConfig(
+                stages=("split", "dice"),
+                model="fine",
+                sm_ids=tuple(range(spec.num_sms - shade_sms)),
+                block_map={"split": 1, "dice": 1},
+            ),
+            GroupConfig(
+                stages=("shade",),
+                model="megakernel",
+                sm_ids=tuple(range(spec.num_sms - shade_sms, spec.num_sms)),
+            ),
+        ),
+    )
+
+
+WORKLOAD = register_workload(
+    WorkloadSpec(
+        name="reyes",
+        description="Reyes micropolygon rendering (Cook et al.; port of "
+        "Patney & Owens)",
+        stage_count=3,
+        structure="recursion",
+        workload_pattern="dynamic",
+        default_params=ReyesParams,
+        quick_params=lambda: ReyesParams(
+            width=320, height=240, num_base_patches=8, split_threshold=64.0, grid=8
+        ),
+        build_pipeline=build_pipeline,
+        initial_items=initial_items,
+        baseline_model=lambda params: KBKModel(
+            host_bytes_per_wave=KBK_HOST_BYTES_PER_WAVE
+        ),
+        baseline_name="KBK",
+        versapipe_config=versapipe_config,
+        check_outputs=check_outputs,
+        paper=PaperNumbers(
+            baseline_ms=15.6,
+            megakernel_ms=12.5,
+            versapipe_ms=7.7,
+            longest_stage_ms=4.02,
+            item_bytes=272,
+        ),
+        notes="Teapot-like scene at 1280x720 (Table 2).",
+    )
+)

@@ -1,0 +1,81 @@
+"""Shared toy pipelines for core-framework tests.
+
+These are deliberately tiny synthetic pipelines (integer payloads, fixed
+costs) so tests exercise the scheduling machinery without the cost of the
+real workloads.
+"""
+
+import pytest
+
+from repro.core import OUTPUT, Pipeline, Stage, TaskCost
+
+
+class DoublerStage(Stage):
+    """Recursive stage: doubles until >= 16, then forwards."""
+
+    name = "doubler"
+    emits_to = ("doubler", "adder")
+    registers_per_thread = 64
+
+    def execute(self, item, ctx):
+        value = item * 2
+        if value >= 16:
+            ctx.emit("adder", value)
+        else:
+            ctx.emit("doubler", value)
+
+    def cost(self, item):
+        return TaskCost(500.0)
+
+
+class AdderStage(Stage):
+    name = "adder"
+    emits_to = ("sink",)
+    registers_per_thread = 120
+
+    def execute(self, item, ctx):
+        ctx.emit("sink", item + 1)
+
+    def cost(self, item):
+        return TaskCost(900.0)
+
+
+class SinkStage(Stage):
+    name = "sink"
+    emits_to = (OUTPUT,)
+    registers_per_thread = 40
+
+    def execute(self, item, ctx):
+        ctx.emit_output(item * 10)
+
+    def cost(self, item):
+        return TaskCost(300.0)
+
+
+def toy_pipeline():
+    return Pipeline([DoublerStage(), AdderStage(), SinkStage()], name="toy")
+
+
+def toy_expected(values):
+    out = []
+    for start in values:
+        value = start * 2
+        while value < 16:
+            value *= 2
+        out.append((value + 1) * 10)
+    return sorted(out)
+
+
+@pytest.fixture
+def pipeline():
+    return toy_pipeline()
+
+
+@pytest.fixture
+def initial_items():
+    return {"doubler": list(range(1, 40))}
+
+
+@pytest.fixture
+def expected_outputs():
+    return toy_expected(range(1, 40))

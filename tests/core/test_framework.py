@@ -1,0 +1,68 @@
+"""The VersaPipe facade: insert -> tune -> run."""
+
+import pytest
+
+from repro.core import ConfigurationError, GroupConfig, PipelineConfig
+from repro.core.framework import VersaPipe
+from repro.core.tuner.offline import TunerOptions
+from repro.gpu.specs import K20C
+
+from .conftest import toy_expected, toy_pipeline
+
+
+class TestVersaPipeFacade:
+    def test_tune_then_run(self):
+        vp = VersaPipe(
+            toy_pipeline(),
+            spec=K20C,
+            tuner_options=TunerOptions(max_configs=25),
+        )
+        vp.insert_into_queue("doubler", list(range(1, 50)))
+        report = vp.tune()
+        assert vp.config is report.best_config
+        result = vp.run()
+        assert result.model == "versapipe"
+        assert sorted(result.outputs) == toy_expected(range(1, 50))
+
+    def test_run_auto_tunes_when_unconfigured(self):
+        vp = VersaPipe(
+            toy_pipeline(),
+            spec=K20C,
+            tuner_options=TunerOptions(max_configs=10),
+        )
+        vp.insert_into_queue("doubler", [1, 2, 3])
+        result = vp.run()
+        assert vp.tuner_report is not None
+        assert len(result.outputs) == 3
+
+    def test_explicit_config_skips_tuning(self):
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=("doubler", "adder", "sink"),
+                    model="megakernel",
+                    sm_ids=tuple(range(13)),
+                ),
+            )
+        )
+        vp = VersaPipe(toy_pipeline(), spec=K20C, config=config)
+        vp.insert_into_queue("doubler", [1])
+        result = vp.run()
+        assert vp.tuner_report is None
+        assert result.outputs == [170]
+
+    def test_tune_without_items_raises(self):
+        vp = VersaPipe(toy_pipeline(), spec=K20C)
+        with pytest.raises(ConfigurationError, match="initial items"):
+            vp.tune()
+
+    def test_insert_validates_stage_name(self):
+        vp = VersaPipe(toy_pipeline(), spec=K20C)
+        with pytest.raises(Exception):
+            vp.insert_into_queue("nonexistent", [1])
+
+    def test_initial_items_accumulate(self):
+        vp = VersaPipe(toy_pipeline(), spec=K20C)
+        vp.insert_into_queue("doubler", [1, 2])
+        vp.insert_into_queue("doubler", [3])
+        assert vp.initial_items == {"doubler": [1, 2, 3]}

@@ -1,0 +1,72 @@
+"""KBK stage fusion (the paper's mixed KBK+RTC baseline mechanism)."""
+
+import pytest
+
+from repro.core import FunctionalExecutor
+from repro.core.models import KBKModel
+from repro.gpu import GPUDevice, K20C
+
+from .conftest import toy_expected, toy_pipeline
+
+
+def run(model, n=40):
+    pipeline = toy_pipeline()
+    device = GPUDevice(K20C)
+    return model.run(
+        pipeline,
+        device,
+        FunctionalExecutor(pipeline),
+        {"doubler": list(range(1, n + 1))},
+    )
+
+
+class TestKBKFusion:
+    def test_fused_outputs_match_pure(self):
+        pure = run(KBKModel())
+        fused = run(KBKModel(fused_groups=[("adder", "sink")]))
+        assert sorted(fused.outputs) == sorted(pure.outputs)
+        assert sorted(fused.outputs) == toy_expected(range(1, 41))
+
+    def test_fusion_reduces_waves(self):
+        pure = run(KBKModel())
+        fused = run(KBKModel(fused_groups=[("adder", "sink")]))
+        assert fused.extras["waves"] < pure.extras["waves"]
+
+    def test_fusion_reduces_launch_and_sync_overhead(self):
+        pure = run(KBKModel())
+        fused = run(KBKModel(fused_groups=[("adder", "sink")]))
+        assert (
+            fused.device_metrics.kernel_launches
+            < pure.device_metrics.kernel_launches
+        )
+        # With the toy's cheap compute, fewer launches means less time.
+        assert fused.time_ms < pure.time_ms
+
+    def test_recursive_stage_can_be_fused(self):
+        fused = run(KBKModel(fused_groups=[("doubler",)]))
+        # Recursion collapses into the wave (the fused group inlines the
+        # self-emissions), so only one doubler wave is needed.
+        assert sorted(fused.outputs) == toy_expected(range(1, 41))
+        assert fused.extras["waves"] == 3
+
+    def test_full_fusion_is_one_wave(self):
+        fused = run(
+            KBKModel(fused_groups=[("doubler", "adder", "sink")])
+        )
+        assert fused.extras["waves"] == 1
+        assert sorted(fused.outputs) == toy_expected(range(1, 41))
+
+    def test_stats_attribute_fused_tasks_to_their_stages(self):
+        fused = run(KBKModel(fused_groups=[("adder", "sink")]), n=10)
+        assert fused.stage_stats["adder"].tasks == 10
+        assert fused.stage_stats["sink"].tasks == 10
+
+    def test_unknown_fused_stage_rejected(self):
+        from repro.core.errors import PipelineDefinitionError
+
+        with pytest.raises(PipelineDefinitionError):
+            run(KBKModel(fused_groups=[("ghost",)]))
+
+    def test_label_mentions_fusion(self):
+        fused = run(KBKModel(fused_groups=[("adder", "sink")]))
+        assert "fused [adder+sink]" in fused.config_description

@@ -1,0 +1,303 @@
+"""Execution models on the toy pipeline: correctness across every model,
+characteristic invariants, and model-specific behaviours."""
+
+import pytest
+
+from repro.core import (
+    FunctionalExecutor,
+    GroupConfig,
+    ModelNotApplicableError,
+    Pipeline,
+    PipelineConfig,
+    Stage,
+    TaskCost,
+)
+from repro.core.models import (
+    CHARACTERISTIC_NAMES,
+    CoarsePipelineModel,
+    DynamicParallelismModel,
+    FinePipelineModel,
+    HybridModel,
+    KBKModel,
+    MegakernelModel,
+    RTCModel,
+    get_model,
+    registered_models,
+)
+from repro.gpu import GPUDevice, K20C
+
+from .conftest import toy_pipeline
+
+
+def run_model(model, pipeline=None, initial=None):
+    pipeline = pipeline or toy_pipeline()
+    initial = initial or {"doubler": list(range(1, 40))}
+    device = GPUDevice(K20C)
+    return model.run(
+        pipeline, device, FunctionalExecutor(pipeline), initial
+    )
+
+
+ALL_MODELS = [
+    ("rtc", lambda: RTCModel()),
+    ("kbk", lambda: KBKModel()),
+    ("kbk-seq", lambda: KBKModel(sequential=True)),
+    ("kbk-4lanes", lambda: KBKModel(lanes=4)),
+    ("megakernel", lambda: MegakernelModel()),
+    ("coarse", lambda: CoarsePipelineModel()),
+    ("fine", lambda: FinePipelineModel()),
+    ("dp", lambda: DynamicParallelismModel()),
+]
+
+
+class TestAllModelsProduceIdenticalOutputs:
+    @pytest.mark.parametrize("name,factory", ALL_MODELS)
+    def test_outputs_match_reference(
+        self, name, factory, expected_outputs
+    ):
+        result = run_model(factory())
+        assert sorted(result.outputs) == expected_outputs, name
+
+    @pytest.mark.parametrize("name,factory", ALL_MODELS)
+    def test_positive_time(self, name, factory):
+        result = run_model(factory())
+        assert result.time_ms > 0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [lambda: MegakernelModel(), lambda: KBKModel()]
+    )
+    def test_repeated_runs_identical(self, factory):
+        first = run_model(factory())
+        second = run_model(factory())
+        assert first.time_ms == second.time_ms
+        assert first.outputs == second.outputs
+
+
+class TestRTC:
+    def test_single_launch(self):
+        result = run_model(RTCModel())
+        assert result.device_metrics.kernel_launches == 1
+
+    def test_global_sync_not_applicable(self):
+        class Sync(Stage):
+            name = "sync"
+            requires_global_sync = True
+
+            def execute(self, item, ctx):
+                ctx.emit_output(item)
+
+            def cost(self, item):
+                return TaskCost(1.0)
+
+        pipe = Pipeline([Sync()])
+        with pytest.raises(ModelNotApplicableError):
+            run_model(RTCModel(), pipeline=pipe, initial={"sync": [1]})
+
+
+class TestKBK:
+    def test_one_launch_per_wave(self):
+        result = run_model(KBKModel())
+        assert (
+            result.device_metrics.kernel_launches == result.extras["waves"]
+        )
+
+    def test_sequential_mode_launches_more(self):
+        batched = run_model(KBKModel())
+        sequential = run_model(KBKModel(sequential=True))
+        assert (
+            sequential.device_metrics.kernel_launches
+            > batched.device_metrics.kernel_launches
+        )
+
+    def test_lanes_reject_zero(self):
+        from repro.core.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_model(KBKModel(lanes=0))
+
+    def test_host_bytes_add_time(self):
+        plain = run_model(KBKModel())
+        heavy = run_model(KBKModel(host_bytes_per_wave=1 << 20))
+        assert heavy.time_ms > plain.time_ms
+
+
+class TestMegakernel:
+    def test_single_persistent_launch(self):
+        result = run_model(MegakernelModel())
+        assert result.device_metrics.kernel_launches == 1
+
+    def test_blocks_bounded_by_fused_occupancy(self):
+        result = run_model(MegakernelModel())
+        # Fused toy kernel: max regs 120 -> 2 blocks/SM on K20C.
+        assert result.device_metrics.blocks_launched == 2 * K20C.num_sms
+
+
+class TestCoarse:
+    def test_one_launch_per_stage(self):
+        result = run_model(CoarsePipelineModel())
+        assert result.device_metrics.kernel_launches == 3
+
+    def test_explicit_sm_assignment(self):
+        model = CoarsePipelineModel(
+            sm_assignment={
+                "doubler": range(0, 4),
+                "adder": range(4, 10),
+                "sink": range(10, 13),
+            }
+        )
+        result = run_model(model)
+        assert len(result.outputs) == 39
+
+    def test_more_stages_than_sms_rejected(self):
+        from repro.core.errors import ConfigurationError
+        from repro.gpu.specs import K20C as spec
+
+        pipe = toy_pipeline()
+        device = GPUDevice(spec.with_overrides(num_sms=2))
+        with pytest.raises(ConfigurationError):
+            CoarsePipelineModel().run(
+                pipe,
+                device,
+                FunctionalExecutor(pipe),
+                {"doubler": [1]},
+            )
+
+
+class TestFine:
+    def test_default_block_map_fills_sm(self):
+        result = run_model(FinePipelineModel())
+        assert len(result.outputs) == 39
+
+    def test_explicit_block_map(self):
+        result = run_model(
+            FinePipelineModel(block_map={"doubler": 1, "adder": 1, "sink": 1})
+        )
+        # 3 blocks per SM across 13 SMs.
+        assert result.device_metrics.blocks_launched == 3 * K20C.num_sms
+
+    def test_infeasible_block_map_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="infeasible"):
+            run_model(
+                FinePipelineModel(
+                    block_map={"doubler": 4, "adder": 4, "sink": 4}
+                )
+            )
+
+
+class TestHybrid:
+    def test_mixed_group_models(self):
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=("doubler",),
+                    model="rtc",
+                    sm_ids=tuple(range(0, 5)),
+                ),
+                GroupConfig(
+                    stages=("adder", "sink"),
+                    model="fine",
+                    sm_ids=tuple(range(5, 13)),
+                    block_map={"adder": 1, "sink": 1},
+                ),
+            )
+        )
+        result = run_model(HybridModel(config))
+        assert len(result.outputs) == 39
+
+    def test_kbk_group_inside_hybrid(self):
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=("doubler", "adder"),
+                    model="megakernel",
+                    sm_ids=tuple(range(0, 8)),
+                ),
+                GroupConfig(
+                    stages=("sink",),
+                    model="kbk",
+                    sm_ids=tuple(range(8, 13)),
+                ),
+            )
+        )
+        result = run_model(HybridModel(config))
+        assert len(result.outputs) == 39
+
+    def test_online_adaptation_runs(self):
+        config = PipelineConfig(
+            groups=(
+                GroupConfig(
+                    stages=("doubler",),
+                    model="megakernel",
+                    sm_ids=tuple(range(0, 6)),
+                ),
+                GroupConfig(
+                    stages=("adder", "sink"),
+                    model="megakernel",
+                    sm_ids=tuple(range(6, 13)),
+                ),
+            ),
+            online_adaptation=True,
+        )
+        result = run_model(HybridModel(config))
+        assert len(result.outputs) == 39
+        assert "online_adaptations" in result.extras
+
+
+class TestDynamicParallelism:
+    def test_child_launch_per_emission(self):
+        result = run_model(DynamicParallelismModel())
+        # Every non-initial task is one child launch.
+        total_tasks = sum(s.tasks for s in result.stage_stats.values())
+        assert result.extras["child_launches"] == total_tasks - 39
+
+    def test_dp_slower_than_megakernel(self):
+        dp = run_model(DynamicParallelismModel())
+        mk = run_model(MegakernelModel())
+        assert dp.time_ms > mk.time_ms
+
+
+class TestRegistryAndCharacteristics:
+    def test_all_models_registered(self):
+        names = set(registered_models())
+        assert {
+            "rtc",
+            "kbk",
+            "megakernel",
+            "coarse",
+            "fine",
+            "hybrid",
+            "dynamic_parallelism",
+        } <= names
+
+    def test_get_model_unknown_raises(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            get_model("nonexistent")
+
+    def test_characteristics_complete(self):
+        for name, cls in registered_models().items():
+            chars = cls.characteristics
+            assert chars is not None, name
+            row = chars.as_row()
+            assert len(row) == len(CHARACTERISTIC_NAMES)
+            assert all(1 <= level <= 3 for level in row)
+
+    def test_figure6_key_contrasts(self):
+        """The qualitative contrasts Figure 6 highlights."""
+        models = registered_models()
+        rtc = models["rtc"].characteristics
+        kbk = models["kbk"].characteristics
+        mega = models["megakernel"].characteristics
+        fine = models["fine"].characteristics
+        # RTC and Megakernel have poor hardware usage; KBK/fine good.
+        assert rtc.hardware_usage < kbk.hardware_usage
+        assert mega.hardware_usage < fine.hardware_usage
+        # KBK and RTC expose no task parallelism; persistent models do.
+        assert kbk.task_parallelism < mega.task_parallelism
+        # Fine pipeline is the hardest to configure.
+        assert fine.simplicity_control < kbk.simplicity_control

@@ -1,0 +1,140 @@
+"""Pipeline graph: topology validation, classification, reachability."""
+
+import pytest
+
+from repro.core import OUTPUT, Pipeline, PipelineDefinitionError, Stage, TaskCost
+
+
+def make_stage(name, emits=(), sync=False):
+    return type(
+        f"S_{name}",
+        (Stage,),
+        {
+            "name": name,
+            "emits_to": tuple(emits),
+            "requires_global_sync": sync,
+            "execute": lambda self, item, ctx: None,
+            "cost": lambda self, item: TaskCost(1.0),
+        },
+    )()
+
+
+class TestConstruction:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PipelineDefinitionError):
+            Pipeline([])
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(PipelineDefinitionError, match="duplicate"):
+            Pipeline([make_stage("a"), make_stage("a")])
+
+    def test_unknown_emission_target_rejected(self):
+        with pytest.raises(PipelineDefinitionError, match="unknown"):
+            Pipeline([make_stage("a", emits=("ghost",))])
+
+    def test_output_target_always_allowed(self):
+        pipe = Pipeline([make_stage("a", emits=(OUTPUT,))])
+        assert pipe.stage_names == ["a"]
+
+    def test_unnamed_stage_rejected(self):
+        class Nameless(Stage):
+            emits_to = ()
+
+        with pytest.raises(PipelineDefinitionError, match="name"):
+            Nameless()
+
+    def test_stage_lookup_unknown_raises(self):
+        pipe = Pipeline([make_stage("a")])
+        with pytest.raises(PipelineDefinitionError):
+            pipe.stage("b")
+
+
+class TestClassification:
+    def test_linear(self):
+        pipe = Pipeline(
+            [
+                make_stage("a", emits=("b",)),
+                make_stage("b", emits=("c",)),
+                make_stage("c", emits=(OUTPUT,)),
+            ]
+        )
+        assert pipe.structure == "linear"
+        assert not pipe.has_recursion
+        assert not pipe.has_backward_edges
+
+    def test_recursion(self):
+        pipe = Pipeline(
+            [
+                make_stage("a", emits=("a", "b")),
+                make_stage("b", emits=(OUTPUT,)),
+            ]
+        )
+        assert pipe.structure == "recursion"
+        assert pipe.has_recursion
+
+    def test_loop(self):
+        pipe = Pipeline(
+            [
+                make_stage("a", emits=("b",)),
+                make_stage("b", emits=("c",)),
+                make_stage("c", emits=("a", OUTPUT)),
+            ]
+        )
+        assert pipe.structure == "loop"
+        assert pipe.has_recursion  # a cycle makes every member self-reaching
+        assert pipe.has_backward_edges
+
+    def test_global_sync_flag(self):
+        pipe = Pipeline([make_stage("a", sync=True)])
+        assert pipe.requires_global_sync
+
+    def test_workload_structures_match_table1(self):
+        from repro.workloads.registry import all_workloads
+
+        for name, spec in all_workloads().items():
+            pipe = spec.build_pipeline(spec.quick_params())
+            assert pipe.structure == spec.structure, name
+            assert len(pipe.stage_names) == spec.stage_count, name
+
+
+class TestReachability:
+    @pytest.fixture
+    def pipe(self):
+        return Pipeline(
+            [
+                make_stage("a", emits=("b",)),
+                make_stage("b", emits=("b", "c")),
+                make_stage("c", emits=(OUTPUT,)),
+            ]
+        )
+
+    def test_reachable_from_includes_self(self, pipe):
+        assert "a" in pipe.reachable_from("a")
+
+    def test_forward_reachability(self, pipe):
+        assert pipe.reachable_from("a") == frozenset({"a", "b", "c"})
+        assert pipe.reachable_from("c") == frozenset({"c"})
+
+    def test_can_reach(self, pipe):
+        assert pipe.can_reach("a", ["c"])
+        assert not pipe.can_reach("c", ["a"])
+        assert pipe.can_reach("b", ["b"])  # self-loop
+
+
+class TestGrouping:
+    def test_contiguous_groups(self):
+        pipe = Pipeline(
+            [make_stage(n) for n in ("a", "b", "c", "d")]
+        )
+        assert pipe.contiguous_groups([2, 2]) == [("a", "b"), ("c", "d")]
+        assert pipe.contiguous_groups([1, 3]) == [("a",), ("b", "c", "d")]
+
+    def test_partition_must_cover(self):
+        pipe = Pipeline([make_stage(n) for n in ("a", "b")])
+        with pytest.raises(PipelineDefinitionError):
+            pipe.contiguous_groups([1])
+
+    def test_zero_group_size_rejected(self):
+        pipe = Pipeline([make_stage(n) for n in ("a", "b")])
+        with pytest.raises(PipelineDefinitionError):
+            pipe.contiguous_groups([0, 2])

@@ -1,0 +1,91 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.gpu.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append("b"))
+    engine.schedule(1.0, lambda: fired.append("a"))
+    engine.schedule(9.0, lambda: fired.append("c"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    fired = []
+    for name in "abc":
+        engine.schedule(3.0, lambda n=name: fired.append(n))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancelled_events_do_not_fire():
+    engine = Engine()
+    fired = []
+    token = engine.schedule(1.0, lambda: fired.append("x"))
+    engine.schedule(2.0, lambda: fired.append("y"))
+    token.cancel()
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_negative_delay_clamps_to_now():
+    engine = Engine()
+    fired = []
+    engine.schedule(2.0, lambda: engine.schedule(-5.0, lambda: fired.append(engine.now)))
+    engine.run()
+    assert fired == [2.0]
+
+
+def test_nested_scheduling_from_callbacks():
+    engine = Engine()
+    fired = []
+
+    def outer():
+        fired.append(("outer", engine.now))
+        engine.schedule(4.0, lambda: fired.append(("inner", engine.now)))
+
+    engine.schedule(1.0, outer)
+    engine.run()
+    assert fired == [("outer", 1.0), ("inner", 5.0)]
+
+
+def test_run_until_predicate_stops_early():
+    engine = Engine()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        engine.schedule(t, lambda t=t: fired.append(t))
+    engine.run(until=lambda: engine.now >= 2.0)
+    assert fired == [1.0, 2.0]
+    assert engine.peek_time() == 3.0
+
+
+def test_runaway_guard_raises():
+    engine = Engine()
+
+    def loop():
+        engine.schedule(1.0, loop)
+
+    engine.schedule(0.0, loop)
+    with pytest.raises(RuntimeError, match="livelock"):
+        engine.run(max_events=100)
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    token = engine.schedule(1.0, lambda: None)
+    engine.schedule(7.0, lambda: None)
+    token.cancel()
+    assert engine.peek_time() == 7.0
+
+
+def test_step_on_empty_heap_returns_false():
+    engine = Engine()
+    assert engine.step() is False
+    assert engine.now == 0.0

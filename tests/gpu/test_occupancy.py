@@ -1,0 +1,114 @@
+"""Occupancy calculator tests, anchored on the paper's reported numbers."""
+
+import pytest
+
+from repro.gpu.kernel import KernelSpec, fuse_specs
+from repro.gpu.occupancy import max_blocks_per_sm, occupancy_report
+from repro.gpu.specs import GTX1080, K20C
+
+
+def kspec(regs, threads=256, smem=0, name="k"):
+    return KernelSpec(
+        name=name,
+        registers_per_thread=regs,
+        threads_per_block=threads,
+        shared_mem_per_block=smem,
+    )
+
+
+class TestPaperRegisterClaims:
+    """Section 8.3: register usage -> blocks per SM, on K20c."""
+
+    def test_reyes_megakernel_255_regs_one_block(self):
+        # "each thread of the Reyes program in Megakernel uses 255 registers
+        # and each SM can only launch 1 thread block"
+        assert max_blocks_per_sm(kspec(255), K20C) == 1
+
+    def test_reyes_split_111_regs_two_blocks(self):
+        assert max_blocks_per_sm(kspec(111), K20C) == 2
+
+    def test_reyes_shade_61_regs_four_blocks(self):
+        assert max_blocks_per_sm(kspec(61), K20C) == 4
+
+    def test_face_detection_megakernel_87_regs(self):
+        # "Megakernel can only launch 2 concurrent blocks in an SM" (87 regs)
+        assert max_blocks_per_sm(kspec(87), K20C) == 2
+
+    def test_face_detection_versapipe_37_regs_at_least_6(self):
+        # smallest VersaPipe kernel (37 regs) -> "at most 6 blocks"
+        assert max_blocks_per_sm(kspec(37), K20C) >= 6
+
+
+class TestLimitKinds:
+    def test_register_limited(self):
+        report = occupancy_report(kspec(255), K20C)
+        assert report.limited_by == "registers"
+        assert report.max_blocks_per_sm == 1
+
+    def test_thread_limited(self):
+        report = occupancy_report(kspec(16, threads=1024), K20C)
+        assert report.limited_by == "threads"
+        assert report.max_blocks_per_sm == 2
+
+    def test_shared_memory_limited(self):
+        report = occupancy_report(kspec(16, smem=24 * 1024), K20C)
+        assert report.limited_by == "shared_memory"
+        assert report.max_blocks_per_sm == 2
+
+    def test_block_slot_limited(self):
+        report = occupancy_report(kspec(8, threads=32), K20C)
+        assert report.max_blocks_per_sm == K20C.max_blocks_per_sm
+        assert report.limited_by == "block_slots"
+
+    def test_occupancy_fraction_bounds(self):
+        for regs in (16, 64, 128, 255):
+            frac = occupancy_report(kspec(regs), K20C).occupancy_fraction
+            assert 0.0 < frac <= 1.0
+
+
+class TestFusion:
+    def test_fused_kernel_takes_max_registers(self):
+        fused = fuse_specs(
+            [kspec(111, name="split"), kspec(255, name="dice"), kspec(61, name="shade")],
+            name="mega",
+        )
+        assert fused.registers_per_thread == 255
+        assert max_blocks_per_sm(fused, K20C) == 1
+
+    def test_fused_code_footprint_is_additive(self):
+        parts = [kspec(32, name=f"s{i}") for i in range(3)]
+        fused = fuse_specs(parts, name="mega")
+        assert fused.code_bytes == sum(p.code_bytes for p in parts)
+
+    def test_fuse_empty_raises(self):
+        with pytest.raises(ValueError):
+            fuse_specs([], name="empty")
+
+
+class TestDeviceDifferences:
+    def test_gtx1080_allows_more_block_slots(self):
+        small = kspec(8, threads=32)
+        assert max_blocks_per_sm(small, GTX1080) > max_blocks_per_sm(small, K20C)
+
+    def test_register_granularity_rounding(self):
+        # 63 regs * 256 threads = 16128, rounds up to 16384 -> exactly 4 blocks
+        assert max_blocks_per_sm(kspec(63), K20C) == 4
+
+
+class TestValidation:
+    def test_zero_registers_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", registers_per_thread=0, threads_per_block=256)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", registers_per_thread=32, threads_per_block=0)
+
+    def test_negative_shared_mem_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSpec(
+                name="bad",
+                registers_per_thread=32,
+                threads_per_block=256,
+                shared_mem_per_block=-1,
+            )

@@ -1,0 +1,118 @@
+"""Execution tracer and text Gantt renderer."""
+
+import pytest
+
+from repro.core import OUTPUT, FunctionalExecutor, Pipeline, Stage, TaskCost
+from repro.core.models import CoarsePipelineModel, MegakernelModel
+from repro.gpu import GPUDevice, K20C
+from repro.gpu.tracing import Tracer, render_timeline
+
+
+class _Producer(Stage):
+    name = "producer"
+    emits_to = ("consumer",)
+    registers_per_thread = 64
+
+    def execute(self, item, ctx):
+        ctx.emit("consumer", item * 2)
+
+    def cost(self, item):
+        return TaskCost(800.0)
+
+
+class _Consumer(Stage):
+    name = "consumer"
+    emits_to = (OUTPUT,)
+    registers_per_thread = 48
+
+    def execute(self, item, ctx):
+        ctx.emit_output(item + 1)
+
+    def cost(self, item):
+        return TaskCost(1200.0)
+
+
+def toy_pipeline():
+    return Pipeline([_Producer(), _Consumer()], name="traced")
+
+
+def traced_run(model):
+    pipeline = toy_pipeline()
+    device = GPUDevice(K20C)
+    tracer = device.enable_tracing()
+    result = model.run(
+        pipeline,
+        device,
+        FunctionalExecutor(pipeline),
+        {"producer": list(range(1, 80))},
+    )
+    return result, tracer
+
+
+class TestTracer:
+    def test_segments_recorded(self):
+        result, tracer = traced_run(MegakernelModel())
+        assert tracer.segments
+        for segment in tracer.segments:
+            assert segment.end > segment.start
+            assert 0 <= segment.sm_id < K20C.num_sms
+            assert segment.work > 0
+
+    def test_busy_cycles_match_span(self):
+        _result, tracer = traced_run(MegakernelModel())
+        start, end = tracer.span()
+        busy = sum(tracer.busy_cycles_by_kernel().values())
+        # Total busy time across SMs can exceed the span (parallelism) but
+        # every segment lies within it.
+        assert busy > 0
+        for segment in tracer.segments:
+            assert start <= segment.start <= segment.end <= end
+
+    def test_zero_length_segments_dropped(self):
+        tracer = Tracer()
+        tracer.record(0, "k", 5.0, 5.0, 0.0)
+        assert tracer.segments == []
+
+    def test_kernel_names_deduplicated_in_order(self):
+        tracer = Tracer()
+        tracer.record(0, "b", 0, 1, 1)
+        tracer.record(1, "a", 0, 1, 1)
+        tracer.record(0, "b", 1, 2, 1)
+        assert tracer.kernels() == ["b", "a"]
+
+
+class TestRenderTimeline:
+    def test_empty_trace(self):
+        assert "no activity" in render_timeline(Tracer(), 4)
+
+    def test_one_row_per_sm(self):
+        _result, tracer = traced_run(MegakernelModel())
+        text = render_timeline(tracer, K20C.num_sms, width=40)
+        rows = [l for l in text.splitlines() if l.startswith("SM")]
+        assert len(rows) == K20C.num_sms
+        assert all(len(row) == len(rows[0]) for row in rows)
+
+    def test_legend_lists_kernels(self):
+        _result, tracer = traced_run(MegakernelModel())
+        text = render_timeline(tracer, K20C.num_sms)
+        assert "legend:" in text
+        for kernel in tracer.kernels():
+            assert kernel in text
+
+    def test_coarse_pipeline_partitions_sms(self):
+        """Under coarse binding, each SM's row shows exactly one kernel."""
+        _result, tracer = traced_run(CoarsePipelineModel())
+        per_sm_kernels = {}
+        for segment in tracer.segments:
+            per_sm_kernels.setdefault(segment.sm_id, set()).add(
+                segment.kernel
+            )
+        for sm_id, kernels in per_sm_kernels.items():
+            assert len(kernels) == 1, (sm_id, kernels)
+
+    def test_clock_footer(self):
+        _result, tracer = traced_run(MegakernelModel())
+        text = render_timeline(
+            tracer, K20C.num_sms, clock_ghz=K20C.clock_ghz
+        )
+        assert "us" in text

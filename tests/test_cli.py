@@ -1,0 +1,77 @@
+"""CLI smoke tests (direct main() invocation, captured stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestList:
+    def test_lists_all_workloads(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("pyramid", "face_detection", "reyes", "cfd",
+                     "rasterization", "ldpc"):
+            assert name in out
+        assert "K20c" in out and "GTX1080" in out
+
+
+class TestRun:
+    def test_run_versapipe_quick(self, capsys):
+        code, out = run_cli(capsys, "run", "reyes")
+        assert code == 0
+        assert "ms simulated" in out
+        assert "config:" in out
+
+    def test_run_specific_model_and_device(self, capsys):
+        code, out = run_cli(
+            capsys, "run", "ldpc", "--model", "megakernel",
+            "--device", "GTX1080",
+        )
+        assert code == 0
+        assert "GTX1080" in out
+
+    def test_unknown_workload_raises(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "run", "tetris")
+
+
+class TestCompare:
+    def test_compare_prints_speedups(self, capsys):
+        code, out = run_cli(capsys, "compare", "rasterization")
+        assert code == 0
+        assert "baseline" in out
+        assert "speedup over baseline" in out
+
+
+class TestTune:
+    def test_tune_quick(self, capsys):
+        code, out = run_cli(capsys, "tune", "ldpc", "--budget", "20")
+        assert code == 0
+        assert "profiled" in out
+        assert "best" in out
+
+
+class TestTimeline:
+    def test_timeline_renders_gantt(self, capsys):
+        code, out = run_cli(
+            capsys, "timeline", "reyes", "--model", "megakernel"
+        )
+        assert code == 0
+        assert "SM00 |" in out
+        assert "legend:" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_model_choice_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "reyes", "--model", "warpdrive"])

@@ -1,0 +1,34 @@
+"""Smoke-run every example script end to end (subprocess)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = {
+    "quickstart.py": ("auto-tuner:", "run:"),
+    "reyes_rendering.py": ("megakernel", "sample grid"),
+    "face_detection_app.py": ("all planted faces recovered",),
+    "autotuner_explorer.py": ("Profiling component", "chosen plan"),
+    "ldpc_decoder.py": ("SNR", "decoder is real"),
+    "pipeline_timeline.py": ("SM00 |", "legend:"),
+    "model_playground.py": ("register pressure", "fan-out"),
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(EXAMPLES.items()))
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output"
+        )

@@ -1,0 +1,202 @@
+"""Mechanistic claims from the paper's Section 8, verified exactly.
+
+These tests pin the architectural arithmetic the paper reports — register
+budgets to blocks-per-SM, resident block counts, kernel launch counts —
+independent of timing calibration.
+"""
+
+import pytest
+
+from repro.core.executor import FunctionalExecutor
+from repro.core.models import HybridModel, KBKModel, MegakernelModel
+from repro.core.exec.persistent import PersistentGroupRunner
+from repro.core.config import GroupConfig
+from repro.core.runcontext import RunContext
+from repro.gpu import GPUDevice, K20C
+from repro.gpu.occupancy import max_blocks_per_sm
+from repro.workloads.registry import get_workload
+
+
+def fused_blocks_per_sm(workload_name):
+    spec = get_workload(workload_name)
+    params = spec.quick_params()
+    pipeline = spec.build_pipeline(params)
+    ctx = RunContext(pipeline, GPUDevice(K20C), FunctionalExecutor(pipeline))
+    runner = PersistentGroupRunner(
+        ctx,
+        GroupConfig(
+            stages=tuple(pipeline.stage_names),
+            model="megakernel",
+            sm_ids=tuple(range(K20C.num_sms)),
+        ),
+    )
+    return max_blocks_per_sm(runner.fused_kernel(), K20C)
+
+
+class TestReyesClaims:
+    """Section 8.3: 'there are 35 blocks launched concurrently in VersaPipe,
+    while the count for Megakernel is only 13.'"""
+
+    def test_megakernel_one_block_per_sm(self):
+        assert fused_blocks_per_sm("reyes") == 1
+
+    def test_megakernel_13_blocks_total(self):
+        spec = get_workload("reyes")
+        params = spec.quick_params()
+        pipeline = spec.build_pipeline(params)
+        device = GPUDevice(K20C)
+        result = MegakernelModel().run(
+            pipeline,
+            device,
+            FunctionalExecutor(pipeline),
+            spec.initial_items(params),
+        )
+        assert result.device_metrics.blocks_launched == 13
+
+    def test_versapipe_about_35_blocks(self):
+        spec = get_workload("reyes")
+        params = spec.quick_params()
+        pipeline = spec.build_pipeline(params)
+        config = spec.versapipe_config(pipeline, K20C, params)
+        device = GPUDevice(K20C)
+        result = HybridModel(config).run(
+            pipeline,
+            device,
+            FunctionalExecutor(pipeline),
+            spec.initial_items(params),
+        )
+        # Paper says 35; our resource-consistent configuration gives
+        # 10 SMs x (1 split + 1 dice) + 3 SMs x 4 shade = 32.
+        assert 30 <= result.device_metrics.blocks_launched <= 36
+
+    def test_shade_four_blocks_per_sm(self):
+        spec = get_workload("reyes")
+        pipeline = spec.build_pipeline(spec.quick_params())
+        assert max_blocks_per_sm(pipeline.stage("shade").kernel_spec(), K20C) == 4
+
+
+class TestFaceDetectionClaims:
+    """Section 8.3: megakernel 87 regs -> 2 blocks/SM; per-stage kernels
+    56/69/56/61/37 regs -> 4/3/4/4/6 blocks/SM."""
+
+    def test_megakernel_two_blocks(self):
+        assert fused_blocks_per_sm("face_detection") == 2
+
+    @pytest.mark.parametrize(
+        "stage,expected",
+        [
+            ("grayscale", 4),
+            ("histeq", 3),
+            ("resize", 4),
+            ("feature", 4),
+            ("scanning", 6),
+        ],
+    )
+    def test_per_stage_blocks(self, stage, expected):
+        spec = get_workload("face_detection")
+        pipeline = spec.build_pipeline(spec.quick_params())
+        assert (
+            max_blocks_per_sm(pipeline.stage(stage).kernel_spec(), K20C)
+            == expected
+        )
+
+
+class TestPyramidClaims:
+    """Section 8.3: 'VersaPipe maintains a total of 60 blocks, while
+    Megakernel only 39'; histeq/resize max 3 and 4 blocks alone but 2+2
+    co-resident under fine pipeline."""
+
+    def test_megakernel_39_blocks(self):
+        assert fused_blocks_per_sm("pyramid") == 3  # 3 x 13 SMs = 39
+
+    def test_versapipe_60_blocks(self):
+        spec = get_workload("pyramid")
+        params = spec.default_params()
+        pipeline = spec.build_pipeline(params)
+        config = spec.versapipe_config(pipeline, K20C, params)
+        total = 0
+        for group in config.groups:
+            if group.model == "fine":
+                total += sum(group.block_map.values()) * len(group.sm_ids)
+            else:
+                fused = pipeline.stage(group.stages[0]).kernel_spec()
+                total += max_blocks_per_sm(fused, K20C) * len(group.sm_ids)
+        assert total == 60
+
+    def test_histeq_resize_standalone_occupancy(self):
+        spec = get_workload("pyramid")
+        pipeline = spec.build_pipeline(spec.quick_params())
+        assert max_blocks_per_sm(pipeline.stage("histeq").kernel_spec(), K20C) == 3
+        assert max_blocks_per_sm(pipeline.stage("resize").kernel_spec(), K20C) == 4
+
+
+class TestCFDClaims:
+    """Section 8.3: KBK needs 14,000 launches at paper scale; VersaPipe
+    reduces the launch count to 3; per-stage blocks 4/2/3."""
+
+    def test_kbk_launch_formula(self):
+        from repro.workloads.cfd import CFDParams
+
+        assert CFDParams(outer_iterations=2000).kbk_launches == 14000
+
+    def test_kbk_measured_launches(self):
+        from repro.workloads.cfd import CFDParams
+
+        spec = get_workload("cfd")
+        params = CFDParams(num_chunks=2, chunk_cells=64, outer_iterations=5)
+        pipeline = spec.build_pipeline(params)
+        device = GPUDevice(K20C)
+        result = KBKModel().run(
+            pipeline,
+            device,
+            FunctionalExecutor(pipeline),
+            spec.initial_items(params),
+        )
+        assert result.device_metrics.kernel_launches == params.kbk_launches
+
+    def test_versapipe_three_launches(self):
+        from repro.workloads.cfd import CFDParams
+
+        spec = get_workload("cfd")
+        params = CFDParams(num_chunks=2, chunk_cells=64, outer_iterations=5)
+        pipeline = spec.build_pipeline(params)
+        config = spec.versapipe_config(pipeline, K20C, params)
+        device = GPUDevice(K20C)
+        result = HybridModel(config).run(
+            pipeline,
+            device,
+            FunctionalExecutor(pipeline),
+            spec.initial_items(params),
+        )
+        assert result.device_metrics.kernel_launches == 3
+
+    @pytest.mark.parametrize(
+        "stage,expected",
+        [("step_factor", 4), ("flux", 2), ("time_step", 3)],
+    )
+    def test_per_stage_blocks(self, stage, expected):
+        spec = get_workload("cfd")
+        pipeline = spec.build_pipeline(spec.quick_params())
+        assert (
+            max_blocks_per_sm(pipeline.stage(stage).kernel_spec(), K20C)
+            == expected
+        )
+
+
+class TestLDPCClaims:
+    """Section 8.3: megakernel 4 blocks/SM (52 total); C2V/V2C 5 blocks."""
+
+    def test_megakernel_52_blocks(self):
+        assert fused_blocks_per_sm("ldpc") * K20C.num_sms == 52
+
+    @pytest.mark.parametrize(
+        "stage,expected",
+        [("initialize", 4), ("c2v", 5), ("v2c", 5), ("probvar", 4)],
+    )
+    def test_per_stage_blocks(self, stage, expected):
+        spec = get_workload("ldpc")
+        pipeline = spec.build_pipeline(spec.quick_params())
+        assert (
+            max_blocks_per_sm(pipeline.stage(stage).kernel_spec(), K20C)
+            == expected
+        )

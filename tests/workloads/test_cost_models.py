@@ -1,0 +1,190 @@
+"""Workload cost-model sanity: costs scale with the data, kernel resource
+declarations match the paper (Section 8.3), serial floors behave."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    cfd,
+    face_detection as fd,
+    ldpc,
+    pyramid,
+    rasterization as ras,
+    reyes,
+)
+
+
+class TestPyramidCosts:
+    def test_histeq_has_serial_floor(self):
+        stage = pyramid.HistEqStage()
+        big = np.zeros((720, 1280), dtype=np.uint8)
+        cost = stage.cost(pyramid._ImageItem(0, 0, big))
+        assert cost.min_cycles > cost.cycles_per_thread
+
+    def test_costs_scale_with_pixels(self):
+        stage = pyramid.GrayscaleStage()
+        small = pyramid._ImageItem(0, 0, np.zeros((90, 160, 3), np.uint8))
+        big = pyramid._ImageItem(0, 0, np.zeros((720, 1280, 3), np.uint8))
+        ratio = (
+            stage.cost(big).cycles_per_thread
+            / stage.cost(small).cycles_per_thread
+        )
+        assert ratio == pytest.approx(64.0)
+
+    def test_resize_cost_shrinks_per_level(self):
+        params = pyramid.PyramidParams()
+        stage = pyramid.ResizeStage(params.min_height)
+        level0 = pyramid._ImageItem(0, 0, np.zeros((720, 1280), np.uint8))
+        level1 = pyramid._ImageItem(0, 1, np.zeros((360, 640), np.uint8))
+        assert (
+            stage.cost(level1).cycles_per_thread
+            < stage.cost(level0).cycles_per_thread
+        )
+
+    def test_expected_levels(self):
+        assert pyramid.PyramidParams(height=720, min_height=24).expected_levels() == 4
+
+
+class TestFaceDetectionCosts:
+    def test_scanning_cost_scales_with_windows(self):
+        stage = fd.FDScanning()
+        codes = np.zeros((718, 1278), dtype=np.uint8)
+        pixels = np.zeros((720, 1280), dtype=np.uint8)
+        one_row = fd._BandItem(0, 0, 0, 1, codes, pixels)
+        four_rows = fd._BandItem(0, 0, 0, 4, codes, pixels)
+        assert (
+            stage.cost(four_rows).cycles_per_thread
+            > 3 * stage.cost(one_row).cycles_per_thread
+        )
+
+    def test_scanning_variance_is_bounded(self):
+        stage = fd.FDScanning()
+        codes = np.zeros((718, 1278), dtype=np.uint8)
+        pixels = np.zeros((720, 1280), dtype=np.uint8)
+        costs = [
+            stage.cost(fd._BandItem(0, 0, row, 4, codes, pixels)).cycles_per_thread
+            for row in range(0, 80, 4)
+        ]
+        assert max(costs) <= 2.0 * min(costs)
+
+    def test_face_positions_deterministic_and_aligned(self):
+        params = fd.FaceDetectionParams()
+        first = params.face_positions(3)
+        second = params.face_positions(3)
+        assert first == second
+        for x, y, size in first:
+            scale = size // fd.WINDOW
+            assert x % (fd.STRIDE * scale) == 0
+            assert y % (fd.STRIDE * scale) == 0
+
+
+class TestReyesCosts:
+    def test_item_bytes_follow_compact_flag(self):
+        assert reyes.ReyesParams().item_bytes == 272
+        assert reyes.ReyesParams(compact_items=True).item_bytes == 48
+        pipe = reyes.build_pipeline(reyes.ReyesParams(compact_items=True))
+        assert all(
+            pipe.stage(s).item_bytes == 48 for s in pipe.stage_names
+        )
+
+    def test_shade_cost_grows_with_screen_bound(self):
+        params = reyes.ReyesParams()
+        stage = reyes.ShadeStage(params)
+        pts = np.zeros((17, 17, 3))
+        small = reyes._GridItem("p", pts, screen_bound=8.0)
+        large = reyes._GridItem("p", pts, screen_bound=200.0)
+        assert (
+            stage.cost(large).cycles_per_thread
+            > stage.cost(small).cycles_per_thread
+        )
+
+    def test_megakernel_register_override(self):
+        pipe = reyes.build_pipeline(reyes.ReyesParams())
+        assert pipe.fused_registers == 255
+
+
+class TestCFDCosts:
+    def test_costs_scale_with_cells(self):
+        stage = cfd.FluxStage()
+        small = cfd._CFDItem(cfd.initial_chunk(cfd.CFDParams(chunk_cells=128), 0), 0, 1)
+        big = cfd._CFDItem(cfd.initial_chunk(cfd.CFDParams(chunk_cells=1024), 0), 0, 1)
+        assert stage.cost(big).cycles_per_thread == pytest.approx(
+            8 * stage.cost(small).cycles_per_thread
+        )
+
+    def test_flux_is_heaviest_stage(self):
+        params = cfd.CFDParams(chunk_cells=256)
+        item = cfd._CFDItem(cfd.initial_chunk(params, 0), 0, 1)
+        flux = cfd.FluxStage().cost(item).cycles_per_thread
+        sf = cfd.StepFactorStage().cost(item).cycles_per_thread
+        ts = cfd.TimeStepStage(params).cost(item).cycles_per_thread
+        assert flux > sf > ts
+
+    def test_requires_global_sync_marks_rtc_inapplicable(self):
+        from repro.core.models import RTCModel
+        from repro.core import ModelNotApplicableError
+
+        pipe = cfd.build_pipeline(cfd.CFDParams())
+        with pytest.raises(ModelNotApplicableError):
+            RTCModel().check_applicable(pipe)
+
+
+class TestLDPCCosts:
+    def test_costs_charge_modelled_frame_size(self):
+        params = ldpc.LDPCParams(n_bits=128, modelled_bits=64800)
+        code = ldpc.build_code(params)
+        stage = ldpc.C2VStage(params, code)
+        frame = ldpc._Frame(
+            0,
+            np.zeros(128),
+            np.zeros(code.check_to_var.shape),
+            np.zeros(code.check_to_var.shape),
+            0,
+        )
+        expected = params.modelled_edges * ldpc.C2V_CYCLES_PER_EDGE / 256
+        assert stage.cost(frame).cycles_per_thread == pytest.approx(expected)
+
+    def test_kbk_wave_count_formula(self):
+        params = ldpc.LDPCParams(num_frames=5, iterations=7)
+        # init + iterations x (c2v + v2c) + probvar waves.
+        from repro.core.executor import FunctionalExecutor
+        from repro.core.models import KBKModel
+        from repro.gpu import GPUDevice, K20C
+
+        quick = ldpc.LDPCParams(
+            n_bits=128, num_frames=5, iterations=7, snr_db=5.0
+        )
+        pipe = ldpc.build_pipeline(quick)
+        device = GPUDevice(K20C)
+        result = KBKModel().run(
+            pipe, device, FunctionalExecutor(pipe), ldpc.initial_items(quick)
+        )
+        assert result.extras["waves"] == 1 + 2 * quick.iterations + 1
+
+
+class TestRasterCosts:
+    def test_band_cost_bounded_by_band_rows(self):
+        params = ras.RasterParams()
+        stage = ras.InterpolateStage(params)
+        screen = np.array([[0.0, 0.0], [500.0, 0.0], [0.0, 500.0]])
+        depth = np.array([5.0, 5.0, 5.0])
+        full = ras._TriangleItem(0, 0, screen, depth, y0=0, y1=10**9)
+        band = ras._TriangleItem(0, 0, screen, depth, y0=0, y1=63)
+        assert (
+            stage.cost(band).cycles_per_thread
+            < stage.cost(full).cycles_per_thread
+        )
+
+    def test_clip_culls_backfaces(self):
+        params = ras.RasterParams(num_cubes=1)
+        from repro.core.executor import FunctionalExecutor
+
+        pipe = ras.build_pipeline(params)
+        executor = FunctionalExecutor(pipe)
+        obj = ras.scene_objects(params)[0]
+        result = executor.run_task("clip", obj)
+        # A closed cube: at most half its 12 faces are front-facing.
+        emitted_triangles = {
+            child.triangle_id // 1000 for _stage, child in result.children
+        }
+        assert 1 <= len(emitted_triangles) <= 6
