@@ -12,6 +12,9 @@ tolerance, (c) the average speedup is a multiple of the baseline, and
 (d) both devices show the same ordering.
 """
 
+import json
+import os
+
 import pytest
 
 from repro.harness.tables import render_figure11
@@ -19,11 +22,45 @@ from repro.workloads.registry import all_workloads
 
 from conftest import workload_cells
 
+#: Machine-readable Figure 11 results, written at the repo root so CI
+#: can archive them alongside the printed tables.
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_fig11.json",
+)
+
 
 def _collect(device_name):
     cells = workload_cells(device_name)
     table = render_figure11(cells, all_workloads(), device_name)
     return cells, table
+
+
+def _write_bench_json(device_name, cells, vp_speedups):
+    """Merge one device's results into BENCH_fig11.json."""
+    payload = {}
+    if os.path.exists(_BENCH_JSON):
+        try:
+            with open(_BENCH_JSON) as handle:
+                payload = json.load(handle)
+        except ValueError:
+            payload = {}
+    workloads = {}
+    for name, columns in cells.items():
+        base = columns["baseline"].time_ms
+        workloads[name] = {
+            "baseline_ms": base,
+            "megakernel_ms": columns["megakernel"].time_ms,
+            "versapipe_ms": columns["versapipe"].time_ms,
+            "versapipe_speedup": base / columns["versapipe"].time_ms,
+        }
+    payload[device_name] = {
+        "workloads": workloads,
+        "mean_versapipe_speedup": sum(vp_speedups) / len(vp_speedups),
+        "max_versapipe_speedup": max(vp_speedups),
+    }
+    with open(_BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 @pytest.mark.parametrize("device_name", ["K20c", "GTX1080"])
@@ -50,6 +87,7 @@ def test_fig11_overall_speedups(benchmark, device_name):
     mean_speedup = sum(vp_speedups) / len(vp_speedups)
     assert mean_speedup > 1.5
     assert max(vp_speedups) > 3.0
+    _write_bench_json(device_name, cells, vp_speedups)
 
 
 def test_fig11_device_consistency(benchmark, k20c_cells, gtx1080_cells):

@@ -7,7 +7,15 @@ Commands:
 * ``compare`` — baseline vs megakernel vs VersaPipe for a workload
   (one Table 2 row);
 * ``tune`` — profile a workload and run the offline auto-tuner;
-* ``timeline`` — run with tracing and print the SM Gantt chart.
+* ``timeline`` — run with tracing and print the SM Gantt chart;
+* ``stats`` — run with the observer attached and print the derived
+  report: per-stage latency percentiles, per-SM busy/stall/starved
+  shares, queue depth/contention summaries.
+
+``run``, ``compare``, ``timeline`` and ``stats`` accept ``--trace-out``
+(write a Chrome/Perfetto ``trace.json``) and ``--report-json`` (write the
+structured :class:`~repro.obs.RunReport`); either flag attaches the
+observer for the run.
 
 All commands use the workloads' quick parameters by default; pass
 ``--full`` for the paper-scale defaults.
@@ -16,6 +24,8 @@ All commands use the workloads' quick parameters by default; pass
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from .core.executor import FunctionalExecutor
@@ -33,6 +43,7 @@ from .core.tuner.profiler import profile_pipeline
 from .gpu.device import GPUDevice
 from .gpu.specs import PRESETS, get_spec
 from .gpu.tracing import render_timeline
+from .obs import Observer, RunReport, write_report_json
 from .workloads.registry import all_workloads, get_workload
 
 _MODEL_CHOICES = (
@@ -71,11 +82,12 @@ def _build_model(name, spec, pipeline, gpu, params):
     raise ValueError(name)
 
 
-def _run_once(spec, model_name, gpu, params, trace=False):
+def _run_once(spec, model_name, gpu, params, trace=False, observe=False):
     pipeline = spec.build_pipeline(params)
     model = _build_model(model_name, spec, pipeline, gpu, params)
     device = GPUDevice(gpu)
     tracer = device.enable_tracing() if trace else None
+    observer = Observer().attach(device) if observe else None
     result = model.run(
         pipeline,
         device,
@@ -83,7 +95,30 @@ def _run_once(spec, model_name, gpu, params, trace=False):
         spec.initial_items(params),
     )
     spec.check_outputs(params, result.outputs)
-    return result, tracer
+    if observer is not None:
+        observer.finalize(
+            result, label=f"{spec.name}/{model_name}/{gpu.name}"
+        )
+    return result, tracer, observer
+
+
+def _wants_observer(args) -> bool:
+    return bool(
+        getattr(args, "trace_out", None) or getattr(args, "report_json", None)
+    )
+
+
+def _write_outputs(args, observer, result) -> None:
+    """Honour ``--trace-out`` / ``--report-json`` for a single run."""
+    if observer is None:
+        return
+    label = result.report.label if result.report is not None else ""
+    if getattr(args, "trace_out", None):
+        observer.write_trace(args.trace_out, label=label)
+        print(f"wrote trace: {args.trace_out}")
+    if getattr(args, "report_json", None):
+        write_report_json(args.report_json, result.report)
+        print(f"wrote report: {args.report_json}")
 
 
 def cmd_list(args) -> int:
@@ -103,7 +138,9 @@ def cmd_run(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
-    result, _ = _run_once(spec, args.model, gpu, params)
+    result, _, observer = _run_once(
+        spec, args.model, gpu, params, observe=_wants_observer(args)
+    )
     print(
         f"{args.workload} / {args.model} on {gpu.name}: "
         f"{result.time_ms:.3f} ms simulated"
@@ -115,24 +152,68 @@ def cmd_run(args) -> int:
     )
     if result.config_description:
         print(f"  config: {result.config_description}")
+    _write_outputs(args, observer, result)
     return 0
+
+
+def _sibling_path(path: str, tag: str) -> str:
+    """``out.json`` + ``megakernel`` -> ``out.megakernel.json``."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.{tag}{ext or '.json'}"
 
 
 def cmd_compare(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
+    observe = _wants_observer(args)
     print(f"{args.workload} on {gpu.name} "
           f"({'paper-scale' if args.full else 'quick'} parameters):")
     rows = []
+    reports = {}
     for model_name in ("baseline", "megakernel", "versapipe"):
-        result, _ = _run_once(spec, model_name, gpu, params)
+        result, _, observer = _run_once(
+            spec, model_name, gpu, params, observe=observe
+        )
         rows.append((model_name, result.time_ms))
         print(f"  {model_name:12s} {result.time_ms:10.3f} ms")
+        if observer is not None:
+            reports[model_name] = result.report
+            if args.trace_out:
+                path = _sibling_path(args.trace_out, model_name)
+                observer.write_trace(path, label=result.report.label)
+                print(f"  wrote trace: {path}")
     base = rows[0][1]
     for model_name, time_ms in rows[1:]:
         print(f"  -> {model_name} speedup over baseline: "
               f"{base / time_ms:.2f}x")
+    if args.report_json:
+        payload = {
+            "workload": args.workload,
+            "device": gpu.name,
+            "models": {
+                name: report.to_dict() for name, report in reports.items()
+            },
+            "aggregate": RunReport.aggregate(
+                reports.values(),
+                label=f"{args.workload}/{gpu.name}",
+            ).to_dict(),
+        }
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote report: {args.report_json}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    spec = get_workload(args.workload)
+    gpu = get_spec(args.device)
+    params = _params(spec, args)
+    result, _, observer = _run_once(
+        spec, args.model, gpu, params, observe=True
+    )
+    print(result.report.summary_text())
+    _write_outputs(args, observer, result)
     return 0
 
 
@@ -161,12 +242,16 @@ def cmd_timeline(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
-    result, tracer = _run_once(spec, args.model, gpu, params, trace=True)
+    result, tracer, observer = _run_once(
+        spec, args.model, gpu, params, trace=True,
+        observe=_wants_observer(args),
+    )
     print(
         f"{args.workload} / {args.model} on {gpu.name}: "
         f"{result.time_ms:.3f} ms"
     )
     print(render_timeline(tracer, gpu.num_sms, clock_ghz=gpu.clock_ghz))
+    _write_outputs(args, observer, result)
     return 0
 
 
@@ -191,8 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="use paper-scale parameters instead of quick ones",
         )
 
+    def add_obs(p):
+        p.add_argument(
+            "--trace-out",
+            metavar="PATH",
+            help="write a Chrome/Perfetto trace.json of the run",
+        )
+        p.add_argument(
+            "--report-json",
+            metavar="PATH",
+            nargs="?",
+            const="report.json",
+            help="write the structured run report as JSON "
+            "(default PATH: report.json)",
+        )
+
     run = sub.add_parser("run", help="run one workload under one model")
     add_common(run)
+    add_obs(run)
     run.add_argument(
         "--model", default="versapipe", choices=_MODEL_CHOICES
     )
@@ -201,6 +302,7 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="baseline vs megakernel vs versapipe"
     )
     add_common(compare)
+    add_obs(compare)
 
     tune = sub.add_parser("tune", help="run the offline auto-tuner")
     add_common(tune)
@@ -212,7 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
         "timeline", help="run with tracing and print an SM Gantt chart"
     )
     add_common(timeline)
+    add_obs(timeline)
     timeline.add_argument(
+        "--model", default="versapipe", choices=_MODEL_CHOICES
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="run with the observer and print latency/SM/queue statistics",
+    )
+    add_common(stats)
+    add_obs(stats)
+    stats.add_argument(
         "--model", default="versapipe", choices=_MODEL_CHOICES
     )
     return parser
@@ -224,6 +337,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "tune": cmd_tune,
     "timeline": cmd_timeline,
+    "stats": cmd_stats,
 }
 
 

@@ -238,11 +238,7 @@ class KBKLane:
         def on_complete(_launch) -> None:
             # Host-side: implicit synchronisation, control logic, and any
             # per-wave host<->device traffic.
-            spec = self.device.spec
-            self.device.host_time = (
-                max(self.device.host_time, self.device.engine.now)
-                + spec.us_to_cycles(spec.sync_overhead_us)
-            )
+            self.device.charge_sync(source="wave")
             if self.host_bytes_per_wave:
                 self.device.memcpy_d2h(self.host_bytes_per_wave)
             for target, child in children:
@@ -384,11 +380,7 @@ class KBKGroupRunner:
         kernel = self.pipeline.stage(stage_name).kernel_spec()
 
         def on_complete(_launch) -> None:
-            spec = self.device.spec
-            self.device.host_time = (
-                max(self.device.host_time, self.device.engine.now)
-                + spec.us_to_cycles(spec.sync_overhead_us)
-            )
+            self.device.charge_sync(source="wave")
             # KBK stages exchange data via global memory: no locality tag.
             self.ctx.enqueue_children(children, producer_sm=None)
             self.ctx.add_outputs(outputs)

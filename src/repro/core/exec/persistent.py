@@ -22,6 +22,7 @@ from ...gpu.block import Compute, Delay, ThreadBlock, Wait
 from ...gpu.kernel import KernelSpec, fuse_specs
 from ...gpu.occupancy import max_blocks_per_sm
 from ...gpu.scheduler import KernelLaunch, Stream
+from ...obs.events import GroupExited
 from ..config import GroupConfig
 from ..errors import ConfigurationError
 from ..runcontext import RunContext
@@ -280,8 +281,14 @@ class PersistentGroupRunner:
             ctx.complete_tasks(stage_name, len(qitems))
             self.device.note_residency()
         self._finished_blocks += 1
-        if (
-            self._finished_blocks == self.total_blocks
-            and self.on_all_blocks_exited is not None
-        ):
-            self.on_all_blocks_exited(self)
+        if self._finished_blocks == self.total_blocks:
+            if self.device.obs is not None:
+                self.device.obs.emit(
+                    GroupExited(
+                        t=self.device.engine.now,
+                        stages=tuple(self.group.stages),
+                        blocks=self.total_blocks,
+                    )
+                )
+            if self.on_all_blocks_exited is not None:
+                self.on_all_blocks_exited(self)

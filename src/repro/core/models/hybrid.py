@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ...gpu.device import GPUDevice
+from ...obs.events import Adaptation
 from ..config import GroupConfig, PipelineConfig
 from ..errors import ConfigurationError, ExecutionError
 from ..executor import Executor
@@ -53,21 +54,34 @@ class OnlineAdapter:
         if self.ctx.done:
             return
         freed = runner.group.sm_ids
+        # Backlog is read from the queue set's depth series — the same
+        # ledger the telemetry layer samples — not by probing queues.
+        depth = self.ctx.depth_series
         candidates = [
             r
             for r in self.runners
             if id(r) not in self._finished
-            and self.ctx.backlog(r.group.stages) > 0
+            and depth.total(r.group.stages) > 0
         ]
         if not candidates:
             return
-        target = max(candidates, key=lambda r: self.ctx.backlog(r.group.stages))
+        target = max(candidates, key=lambda r: depth.total(r.group.stages))
         delay = self.ctx.device.spec.us_to_cycles(self.REACTION_US)
 
         def relaunch() -> None:
             if self.ctx.done or self.ctx.is_quiescent(target.group.stages):
                 return
             self.adaptations += 1
+            device = self.ctx.device
+            if device.obs is not None:
+                device.obs.emit(
+                    Adaptation(
+                        t=device.engine.now,
+                        freed_sms=tuple(freed),
+                        stages=tuple(target.group.stages),
+                        backlog=depth.total(target.group.stages),
+                    )
+                )
             target.add_blocks(tuple(target.group.stages), freed)
 
         self.ctx.device.engine.schedule(delay, relaunch)

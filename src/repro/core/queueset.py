@@ -16,13 +16,22 @@ queues with stealing/donation.  This module implements both:
 
 The cost accounting lives here so the runners stay agnostic: ``pop`` and
 ``push`` return the cycle cost of the operation alongside the items.
+
+Every queue set maintains a :class:`~repro.obs.depth.DepthSeries` — the
+canonical per-stage backlog ledger that the online adapter and the tuner
+read — and, when a telemetry bus is attached (:meth:`attach_bus`), emits
+:class:`~repro.obs.events.QueuePush` / :class:`~repro.obs.events.QueuePop`
+events carrying a depth sample per operation (``stolen=True`` marks a
+cross-shard steal).  With no bus attached no event objects are created.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional
 
 from ..gpu.specs import GPUSpec
+from ..obs.depth import DepthSeries
+from ..obs.events import QueuePop, QueuePush
 from .errors import ConfigurationError
 from .queues import QueuedItem, QueueStats, WorkQueue, queue_op_cost
 
@@ -31,15 +40,54 @@ QUEUE_MODES = ("shared", "distributed")
 #: Shard key for items pushed from the host (initial insertions).
 HOST_SHARD = -1
 
+#: Shard key reported for the single queue of the shared organisation.
+SHARED_SHARD = 0
+
 #: Multiplier on the fixed queue cost when stealing from a remote shard.
 STEAL_COST_FACTOR = 2.5
 
 
-class SharedQueueSet:
+class _QueueSetBase:
+    """Depth accounting and telemetry shared by both organisations."""
+
+    def __init__(self, stages: dict[str, int]) -> None:
+        #: Canonical backlog ledger (always on; see repro.obs.depth).
+        self.depth = DepthSeries(stages)
+        self.bus = None
+        self._now: Optional[Callable[[], float]] = None
+
+    def attach_bus(self, bus, clock: Callable[[], float]) -> None:
+        """Start emitting queue events on ``bus``, timestamped by
+        ``clock`` (the device engine's ``now``)."""
+        self.bus = bus
+        self._now = clock
+
+    def _emit_push(self, stage: str, shard: int, depth: int) -> None:
+        self.bus.emit(
+            QueuePush(t=self._now(), stage=stage, shard=shard, depth=depth)
+        )
+
+    def _emit_pop(
+        self, stage: str, shard: int, count: int, depth: int, stolen: bool
+    ) -> None:
+        self.bus.emit(
+            QueuePop(
+                t=self._now(),
+                stage=stage,
+                shard=shard,
+                count=count,
+                depth=depth,
+                stolen=stolen,
+            )
+        )
+
+
+class SharedQueueSet(_QueueSetBase):
     """One global work queue per stage (the paper's default)."""
 
     def __init__(self, stages: dict[str, int], spec: GPUSpec) -> None:
         """``stages`` maps stage name -> item size in bytes."""
+        super().__init__(stages)
         self.spec = spec
         self._queues = {
             name: WorkQueue(name, item_bytes)
@@ -56,6 +104,9 @@ class SharedQueueSet:
         producer_sm: Optional[int],
     ) -> float:
         self._queues[stage].push(payload, producer_sm)
+        depth = self.depth.push(stage)
+        if self.bus is not None:
+            self._emit_push(stage, SHARED_SHARD, depth)
         return queue_op_cost(
             self.spec,
             self._queues[stage].item_bytes,
@@ -68,6 +119,12 @@ class SharedQueueSet:
     ) -> tuple[list[QueuedItem], float]:
         queue = self._queues[stage]
         batch = queue.pop_batch(max_items)
+        if batch:
+            depth = self.depth.pop(stage, len(batch))
+            if self.bus is not None:
+                self._emit_pop(
+                    stage, SHARED_SHARD, len(batch), depth, stolen=False
+                )
         cost = queue_op_cost(
             self.spec, queue.item_bytes, len(batch), self.contention_level
         )
@@ -75,24 +132,32 @@ class SharedQueueSet:
 
     def drain(self, stage: str) -> list[QueuedItem]:
         queue = self._queues[stage]
-        return queue.pop_batch(len(queue))
+        batch = queue.pop_batch(len(queue))
+        if batch:
+            depth = self.depth.pop(stage, len(batch))
+            if self.bus is not None:
+                self._emit_pop(
+                    stage, SHARED_SHARD, len(batch), depth, stolen=False
+                )
+        return batch
 
     def has_work(self, stage: str) -> bool:
         return not self._queues[stage].empty
 
     def backlog(self, stage: str) -> int:
-        return len(self._queues[stage])
+        return self.depth.backlog(stage)
 
     def stats(self) -> dict[str, QueueStats]:
         return {name: q.stats for name, q in self._queues.items()}
 
 
-class DistributedQueueSet:
+class DistributedQueueSet(_QueueSetBase):
     """Per-SM queue shards with locality-first popping and stealing."""
 
     def __init__(
         self, stages: dict[str, int], spec: GPUSpec
     ) -> None:
+        super().__init__(stages)
         self.spec = spec
         self._item_bytes = dict(stages)
         shard_ids = [HOST_SHARD] + list(range(spec.num_sms))
@@ -103,7 +168,6 @@ class DistributedQueueSet:
             }
             for name, item_bytes in stages.items()
         }
-        self._totals: dict[str, int] = {name: 0 for name in stages}
         self.contention_level = 0.0
         self.steals = 0
 
@@ -113,7 +177,9 @@ class DistributedQueueSet:
     ) -> float:
         shard = HOST_SHARD if producer_sm is None else producer_sm
         self._shards[stage][shard].push(payload, producer_sm)
-        self._totals[stage] += 1
+        depth = self.depth.push(stage)
+        if self.bus is not None:
+            self._emit_push(stage, shard, depth)
         # A per-SM shard sees only its own SM's blocks: no cross-SM
         # contention on the atomic counters.
         return queue_op_cost(self.spec, self._item_bytes[stage], 1, 0.0)
@@ -124,7 +190,9 @@ class DistributedQueueSet:
         shards = self._shards[stage]
         batch: list[QueuedItem] = []
         cost = 0.0
-        local = shards.get(sm_id if sm_id is not None else HOST_SHARD)
+        shard = sm_id if sm_id is not None else HOST_SHARD
+        stolen = False
+        local = shards.get(shard)
         if local is not None and not local.empty:
             batch = local.pop_batch(max_items)
             cost += queue_op_cost(
@@ -136,20 +204,31 @@ class DistributedQueueSet:
                 batch = shards[victim].pop_batch(max_items)
                 if batch:
                     self.steals += 1
+                    shard = victim
+                    stolen = True
                     cost += STEAL_COST_FACTOR * queue_op_cost(
                         self.spec,
                         self._item_bytes[stage],
                         len(batch),
                         self.contention_level,
                     )
-        self._totals[stage] -= len(batch)
+        if batch:
+            depth = self.depth.pop(stage, len(batch))
+            if self.bus is not None:
+                self._emit_pop(stage, shard, len(batch), depth, stolen)
         return batch, cost
 
     def drain(self, stage: str) -> list[QueuedItem]:
         items: list[QueuedItem] = []
-        for shard in self._shards[stage].values():
-            items.extend(shard.pop_batch(len(shard)))
-        self._totals[stage] = 0
+        for shard_id, shard in self._shards[stage].items():
+            drained = shard.pop_batch(len(shard))
+            if drained:
+                depth = self.depth.pop(stage, len(drained))
+                if self.bus is not None:
+                    self._emit_pop(
+                        stage, shard_id, len(drained), depth, stolen=False
+                    )
+            items.extend(drained)
         return items
 
     def _richest_shard(
@@ -165,10 +244,10 @@ class DistributedQueueSet:
 
     # ------------------------------------------------------------------
     def has_work(self, stage: str) -> bool:
-        return self._totals[stage] > 0
+        return self.depth.backlog(stage) > 0
 
     def backlog(self, stage: str) -> int:
-        return self._totals[stage]
+        return self.depth.backlog(stage)
 
     def stats(self) -> dict[str, QueueStats]:
         merged: dict[str, QueueStats] = {}

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..gpu.metrics import DeviceMetrics
+from ..obs.report import RunReport
 from .queues import QueueStats
 from .runcontext import StageRunStats
 
@@ -23,6 +24,8 @@ class RunResult:
     queue_stats: dict[str, QueueStats] = field(default_factory=dict)
     config_description: str = ""
     extras: dict[str, Any] = field(default_factory=dict)
+    #: Derived telemetry; populated only when the run was observed.
+    report: Optional[RunReport] = None
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (>1 means faster)."""

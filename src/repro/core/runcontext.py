@@ -87,6 +87,11 @@ class RunContext:
             },
             device.spec,
         )
+        if device.obs is not None:
+            # Thread the device's telemetry bus into the queue set so
+            # push/pop/steal events carry engine-time depth samples.
+            engine = device.engine
+            self.queue_set.attach_bus(device.obs, lambda: engine.now)
         self.outstanding: dict[str, int] = {name: 0 for name in pipeline.stages}
         self.total_outstanding = 0
         self.outputs: list[object] = []
@@ -360,6 +365,14 @@ class RunContext:
     def queue_stats(self) -> dict[str, QueueStats]:
         return self.queue_set.stats()
 
+    @property
+    def depth_series(self):
+        """The queue set's always-on backlog ledger
+        (:class:`repro.obs.depth.DepthSeries`) — current and peak queued
+        items per stage.  The online adapter and the tuner's
+        queue-pressure summary read from here."""
+        return self.queue_set.depth
+
     def backlog(self, stages: Iterable[str]) -> int:
         """Items currently queued for the given stages."""
-        return sum(self.queue_set.backlog(s) for s in stages)
+        return self.queue_set.depth.total(stages)

@@ -21,7 +21,12 @@ from ..errors import ConfigurationError, ExecutionError, VersaPipeError
 from ..executor import ReplayExecutor
 from ..pipeline import Pipeline
 from ..trace import Trace
-from .profiler import PipelineProfile, replay_placeholders
+from .profiler import (
+    PipelineProfile,
+    QueuePressure,
+    queue_pressure,
+    replay_placeholders,
+)
 from .space import enumerate_configs
 
 
@@ -52,6 +57,8 @@ class EvaluatedConfig:
     config: PipelineConfig
     time_ms: float  # math.inf when timed out or invalid
     note: str = ""
+    #: Backlog summary of the replay; None when the run never finished.
+    pressure: Optional[QueuePressure] = None
 
 
 @dataclass
@@ -89,6 +96,8 @@ class OfflineTuner:
         self.trace = trace
         self.profile = profile
         self.options = options or TunerOptions()
+        #: Queue-pressure summary of the most recent completed replay.
+        self.last_pressure: Optional[QueuePressure] = None
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -116,6 +125,7 @@ class OfflineTuner:
                     f"config exceeded {deadline_cycles:.0f} cycles"
                 )
             raise ExecutionError("replay deadlocked (internal error)")
+        self.last_pressure = queue_pressure(engine.ctx.depth_series)
         return device.elapsed_ms
 
     # ------------------------------------------------------------------
@@ -156,7 +166,9 @@ class OfflineTuner:
                     EvaluatedConfig(config, math.inf, note=f"invalid: {exc}")
                 )
                 continue
-            evaluated.append(EvaluatedConfig(config, time_ms))
+            evaluated.append(
+                EvaluatedConfig(config, time_ms, pressure=self.last_pressure)
+            )
             if time_ms < best_ms:
                 best, best_ms = config, time_ms
         if best is None:

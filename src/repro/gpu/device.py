@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from ..obs.events import HostSync, KernelLaunched, Memcpy
 from .block import BlockProgram, ThreadBlock
 from .engine import Engine
 from .kernel import KernelSpec
@@ -47,6 +48,10 @@ class GPUDevice:
         #: perform host work (launch calls, synchronisation, memcpys).
         self.host_time = 0.0
         self._launches: list[KernelLaunch] = []
+        #: Optional telemetry bus (see :meth:`attach_observer`).  Every
+        #: emitter guards on ``None`` so no event objects are allocated
+        #: unless an observer subscribed — tracing is zero-cost when off.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Streams and launches.
@@ -100,6 +105,16 @@ class GPUDevice:
         )
         self.engine.schedule_at(arrival, lambda: stream.enqueue(launch))
         self._launches.append(launch)
+        if self.obs is not None:
+            self.obs.emit(
+                KernelLaunched(
+                    t=launch.issue_cycle,
+                    launch_id=launch.launch_id,
+                    kernel=kernel.name,
+                    num_blocks=num_blocks,
+                    stream_id=stream.stream_id,
+                )
+            )
         return launch
 
     # ------------------------------------------------------------------
@@ -122,7 +137,21 @@ class GPUDevice:
             )
         self.host_time = max(self.host_time, self.engine.now)
         if charge_host:
-            self.host_time += self.spec.us_to_cycles(self.spec.sync_overhead_us)
+            self.charge_sync(source="sync")
+
+    def charge_sync(self, source: str = "wave") -> None:
+        """Charge one host-side synchronisation on the host timeline.
+
+        ``source`` labels the sync in telemetry: ``"sync"`` for explicit
+        device synchronisation, ``"wave"`` for the implicit per-wave
+        barrier of the KBK drivers.
+        """
+        cycles = self.spec.us_to_cycles(self.spec.sync_overhead_us)
+        self.host_time = max(self.host_time, self.engine.now) + cycles
+        if self.obs is not None:
+            self.obs.emit(
+                HostSync(t=self.engine.now, source=source, cycles=cycles)
+            )
 
     def run_engine(self, until: Optional[Callable[[], bool]] = None) -> None:
         """Expose the engine loop for models with custom stop conditions."""
@@ -139,16 +168,32 @@ class GPUDevice:
     def memcpy_h2d(self, num_bytes: int) -> None:
         self.metrics.host_to_device_copies += 1
         self.metrics.bytes_copied += num_bytes
-        self.host_time = (
-            max(self.host_time, self.engine.now) + self.memcpy_cycles(num_bytes)
-        )
+        cycles = self.memcpy_cycles(num_bytes)
+        self.host_time = max(self.host_time, self.engine.now) + cycles
+        if self.obs is not None:
+            self.obs.emit(
+                Memcpy(
+                    t=self.engine.now,
+                    direction="h2d",
+                    num_bytes=num_bytes,
+                    cycles=cycles,
+                )
+            )
 
     def memcpy_d2h(self, num_bytes: int) -> None:
         self.metrics.device_to_host_copies += 1
         self.metrics.bytes_copied += num_bytes
-        self.host_time = (
-            max(self.host_time, self.engine.now) + self.memcpy_cycles(num_bytes)
-        )
+        cycles = self.memcpy_cycles(num_bytes)
+        self.host_time = max(self.host_time, self.engine.now) + cycles
+        if self.obs is not None:
+            self.obs.emit(
+                Memcpy(
+                    t=self.engine.now,
+                    direction="d2h",
+                    num_bytes=num_bytes,
+                    cycles=cycles,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Observation.
@@ -164,6 +209,20 @@ class GPUDevice:
         for sm in self.sms:
             sm.tracer = tracer
         return tracer
+
+    def attach_observer(self, bus) -> None:
+        """Attach a telemetry :class:`~repro.obs.events.EventBus` to the
+        device, its SMs and the hardware scheduler.
+
+        Must be called before the run starts; components created later
+        from this device (e.g. the run context's queue set) pick the
+        bus up from ``self.obs``.  Use :class:`repro.obs.Observer` for
+        the bundled bus + recorder + report workflow.
+        """
+        self.obs = bus
+        for sm in self.sms:
+            sm.obs = bus
+        self.scheduler.obs = bus
 
     def resident_blocks(self) -> int:
         return sum(len(sm.resident_blocks) for sm in self.sms)

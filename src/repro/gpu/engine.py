@@ -34,10 +34,17 @@ class Engine:
         self._heap: list[tuple[float, int, CancelToken, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        self._peak_pending = 0
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the event heap — how much simultaneous
+        in-flight activity the simulated run generated (telemetry)."""
+        return self._peak_pending
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> CancelToken:
         """Schedule ``fn`` to run ``delay`` cycles from now.
@@ -49,6 +56,8 @@ class Engine:
             delay = 0.0
         token = CancelToken()
         heapq.heappush(self._heap, (self.now + delay, next(self._seq), token, fn))
+        if len(self._heap) > self._peak_pending:
+            self._peak_pending = len(self._heap)
         return token
 
     def schedule_at(self, time: float, fn: Callable[[], None]) -> CancelToken:

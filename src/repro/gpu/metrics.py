@@ -43,3 +43,8 @@ class DeviceMetrics:
         self.peak_resident_blocks = max(
             self.peak_resident_blocks, other.peak_resident_blocks
         )
+        for sm_id, cycles in other.sm_busy_lane_cycles.items():
+            self.sm_busy_lane_cycles[sm_id] = (
+                self.sm_busy_lane_cycles.get(sm_id, 0.0) + cycles
+            )
+        self.elapsed_cycles = max(self.elapsed_cycles, other.elapsed_cycles)

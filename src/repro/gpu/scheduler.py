@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from ..obs.events import KernelRetired
 from .block import ThreadBlock
 from .kernel import KernelSpec
 from .sm import StreamingMultiprocessor
@@ -111,6 +112,8 @@ class HardwareScheduler:
         self.sms = list(sms)
         self._active: list[KernelLaunch] = []
         self._dispatching = False
+        #: Optional telemetry bus (set via GPUDevice.attach_observer).
+        self.obs = None
         for sm in self.sms:
             sm.on_retire = self._on_block_retired
 
@@ -165,4 +168,12 @@ class HardwareScheduler:
         launch = block.launch
         if launch is not None:
             launch.block_retired(block.sm.engine.now)
+            if launch.done and self.obs is not None:
+                self.obs.emit(
+                    KernelRetired(
+                        t=block.sm.engine.now,
+                        launch_id=launch.launch_id,
+                        kernel=launch.kernel.name,
+                    )
+                )
         self.dispatch()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from ..obs.events import BlockAdmitted, BlockExited, ComputeSegment
 from .block import ThreadBlock
 from .engine import CancelToken, Engine
 from .kernel import KernelSpec
@@ -75,6 +76,9 @@ class StreamingMultiprocessor:
         self.on_retire: Optional[Callable[[ThreadBlock], None]] = None
         #: Optional execution tracer (set via GPUDevice.enable_tracing).
         self.tracer = None
+        #: Optional telemetry bus (set via GPUDevice.attach_observer).
+        #: Every emission is guarded so nothing is allocated when unset.
+        self.obs = None
         # Metrics.
         self.busy_lane_cycles = 0.0
         self.blocks_admitted = 0
@@ -110,6 +114,16 @@ class StreamingMultiprocessor:
         self.resident_blocks.append(block)
         self.blocks_admitted += 1
         block.sm = self
+        if self.obs is not None:
+            self.obs.emit(
+                BlockAdmitted(
+                    t=self.engine.now,
+                    sm_id=self.sm_id,
+                    block_id=block.block_id,
+                    kernel=kernel.name,
+                    threads=kernel.threads_per_block,
+                )
+            )
         block.start()
 
     def retire(self, block: ThreadBlock) -> None:
@@ -119,6 +133,15 @@ class StreamingMultiprocessor:
         self.registers_used -= registers_per_block(kernel, self.spec)
         self.shared_mem_used -= shared_mem_per_block(kernel, self.spec)
         self.threads_used -= kernel.threads_per_block
+        if self.obs is not None:
+            self.obs.emit(
+                BlockExited(
+                    t=self.engine.now,
+                    sm_id=self.sm_id,
+                    block_id=block.block_id,
+                    kernel=kernel.name,
+                )
+            )
         if self.on_retire is not None:
             self.on_retire(block)
 
@@ -228,6 +251,17 @@ class StreamingMultiprocessor:
                     seg.started,
                     self.engine.now,
                     seg.work,
+                )
+            if self.obs is not None and self.engine.now > seg.started:
+                    self.obs.emit(
+                    ComputeSegment(
+                        t=self.engine.now,
+                        sm_id=self.sm_id,
+                        block_id=seg.block.block_id,
+                        kernel=seg.block.kernel.name,
+                        start=seg.started,
+                        work=seg.work,
+                    )
                 )
         # Resuming blocks may add new segments (each add calls _reschedule);
         # make sure we also reschedule when nothing was added back.

@@ -97,7 +97,10 @@ def render_timeline(
         [dict() for _ in range(width)] for _ in range(num_sms)
     ]
     for segment in tracer.segments:
-        first = int((segment.start - start) / bucket)
+        # Clamp both ends: a segment starting exactly at the span end
+        # (or fed in from outside the recorded span) must not index past
+        # the last column.
+        first = max(0, min(width - 1, int((segment.start - start) / bucket)))
         last = min(width - 1, int((segment.end - start) / bucket))
         for column in range(first, last + 1):
             b0 = start + column * bucket

@@ -2,11 +2,18 @@
 paper's tables and figures as text, and compares measured shapes against
 the paper's reported numbers."""
 
-from .runner import ExperimentCell, run_cell, run_versapipe, run_workload_models
+from .runner import (
+    ExperimentCell,
+    aggregate_reports,
+    run_cell,
+    run_versapipe,
+    run_workload_models,
+)
 from .tables import format_table, ratio, render_figure11, render_table2
 
 __all__ = [
     "ExperimentCell",
+    "aggregate_reports",
     "format_table",
     "ratio",
     "render_figure11",

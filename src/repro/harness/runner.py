@@ -7,7 +7,7 @@ renderers and the tests can consume them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..core.executor import FunctionalExecutor, ReplayExecutor
 from ..core.models import (
@@ -23,6 +23,7 @@ from ..core.trace import Trace
 from ..core.tuner.profiler import profile_pipeline, replay_placeholders
 from ..gpu.device import GPUDevice
 from ..gpu.specs import GPUSpec, K20C
+from ..obs import Observer, RunReport
 from ..workloads.registry import WorkloadSpec, get_workload
 
 
@@ -46,15 +47,27 @@ def run_cell(
     params: Optional[object] = None,
     check: bool = True,
     label: Optional[str] = None,
+    observe: bool = False,
 ) -> ExperimentCell:
-    """Run one workload under one model on one simulated device."""
+    """Run one workload under one model on one simulated device.
+
+    With ``observe=True`` an :class:`~repro.obs.Observer` is attached for
+    the run and the derived :class:`~repro.obs.RunReport` lands on
+    ``cell.result.report``, labelled ``workload/model/device``.
+    """
     params = params if params is not None else spec.default_params()
     pipeline = spec.build_pipeline(params)
     device = GPUDevice(gpu)
+    observer = Observer().attach(device) if observe else None
     executor = FunctionalExecutor(pipeline)
     result = model.run(pipeline, device, executor, spec.initial_items(params))
     if check:
         spec.check_outputs(params, result.outputs)
+    if observer is not None:
+        observer.finalize(
+            result,
+            label=f"{spec.name}/{label or result.model}/{gpu.name}",
+        )
     scale = spec.time_scale(params)
     return ExperimentCell(
         workload=spec.name,
@@ -71,6 +84,7 @@ def run_versapipe(
     gpu: GPUSpec,
     params: Optional[object] = None,
     check: bool = True,
+    observe: bool = False,
 ) -> ExperimentCell:
     """Run the workload as VersaPipe would: pick the fastest hybrid plan.
 
@@ -111,6 +125,7 @@ def run_versapipe(
             params,
             check=check,
             label="versapipe",
+            observe=observe,
         )
         if best is None or cell.time_ms < best.time_ms:
             best = cell
@@ -122,6 +137,7 @@ def run_workload_models(
     gpu: GPUSpec = K20C,
     params: Optional[object] = None,
     check: bool = True,
+    observe: bool = False,
 ) -> dict[str, ExperimentCell]:
     """The three Table 2 columns for one workload: baseline, megakernel,
     versapipe."""
@@ -135,12 +151,31 @@ def run_workload_models(
             params,
             check=check,
             label=spec.baseline_name,
+            observe=observe,
         ),
         "megakernel": run_cell(
-            spec, MegakernelModel(), gpu, params, check=check
+            spec, MegakernelModel(), gpu, params, check=check, observe=observe
         ),
-        "versapipe": run_versapipe(spec, gpu, params, check=check),
+        "versapipe": run_versapipe(
+            spec, gpu, params, check=check, observe=observe
+        ),
     }
+
+
+def aggregate_reports(
+    cells: Iterable[ExperimentCell], label: str = "sweep"
+) -> RunReport:
+    """Roll the observed cells of a sweep into one :class:`RunReport`.
+
+    Cells run without ``observe=True`` carry no report and are skipped;
+    the aggregate's ``runs`` field counts only the observed ones.
+    """
+    reports = [
+        cell.result.report
+        for cell in cells
+        if cell.result is not None and cell.result.report is not None
+    ]
+    return RunReport.aggregate(reports, label=label)
 
 
 def longest_stage_ms(

@@ -1,0 +1,44 @@
+"""DeviceMetrics accounting, in particular cross-device merging."""
+
+import pytest
+
+from repro.gpu.metrics import DeviceMetrics
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a = DeviceMetrics(kernel_launches=2, blocks_launched=10)
+        b = DeviceMetrics(kernel_launches=3, blocks_launched=5)
+        a.merge(b)
+        assert a.kernel_launches == 5
+        assert a.blocks_launched == 15
+
+    def test_busy_lane_cycles_sum_per_sm(self):
+        """Regression: merge used to drop sm_busy_lane_cycles entirely,
+        zeroing utilization() on any merged metrics."""
+        a = DeviceMetrics(
+            sm_busy_lane_cycles={0: 100.0, 1: 50.0}, elapsed_cycles=200.0
+        )
+        b = DeviceMetrics(
+            sm_busy_lane_cycles={1: 25.0, 2: 75.0}, elapsed_cycles=300.0
+        )
+        a.merge(b)
+        assert a.sm_busy_lane_cycles == {0: 100.0, 1: 75.0, 2: 75.0}
+        assert a.elapsed_cycles == 300.0
+
+    def test_merged_utilization_nonzero(self):
+        a = DeviceMetrics(
+            sm_busy_lane_cycles={0: 100.0}, elapsed_cycles=100.0
+        )
+        b = DeviceMetrics(
+            sm_busy_lane_cycles={0: 100.0}, elapsed_cycles=100.0
+        )
+        a.merge(b)
+        # 200 busy lane-cycles over 100 elapsed on one SM of n cores
+        assert a.utilization(cores_per_sm=2) == pytest.approx(1.0)
+
+    def test_peak_resident_is_max(self):
+        a = DeviceMetrics(peak_resident_blocks=4)
+        a.merge(DeviceMetrics(peak_resident_blocks=9))
+        a.merge(DeviceMetrics(peak_resident_blocks=3))
+        assert a.peak_resident_blocks == 9

@@ -1,0 +1,64 @@
+"""Shared fixtures for the observability tests: a tiny two-stage
+pipeline and helpers to run it with or without an observer."""
+
+import pytest
+
+from repro.core import OUTPUT, FunctionalExecutor, Pipeline, Stage, TaskCost
+from repro.gpu import GPUDevice, K20C
+from repro.obs import Observer
+
+
+class _Producer(Stage):
+    name = "producer"
+    emits_to = ("consumer",)
+    registers_per_thread = 64
+
+    def execute(self, item, ctx):
+        ctx.emit("consumer", item * 2)
+
+    def cost(self, item):
+        return TaskCost(800.0)
+
+
+class _Consumer(Stage):
+    name = "consumer"
+    emits_to = (OUTPUT,)
+    registers_per_thread = 48
+
+    def execute(self, item, ctx):
+        ctx.emit_output(item + 1)
+
+    def cost(self, item):
+        return TaskCost(1200.0)
+
+
+def toy_pipeline():
+    return Pipeline([_Producer(), _Consumer()], name="observed")
+
+
+def observed_run(model, n_items=40):
+    """Run the toy pipeline under ``model`` with an Observer attached."""
+    pipeline = toy_pipeline()
+    device = GPUDevice(K20C)
+    observer = Observer().attach(device)
+    result = model.run(
+        pipeline,
+        device,
+        FunctionalExecutor(pipeline),
+        {"producer": list(range(1, n_items + 1))},
+    )
+    observer.finalize(result)
+    return result, observer
+
+
+def plain_run(model, n_items=40):
+    """Same run with no observer (the zero-cost baseline)."""
+    pipeline = toy_pipeline()
+    device = GPUDevice(K20C)
+    result = model.run(
+        pipeline,
+        device,
+        FunctionalExecutor(pipeline),
+        {"producer": list(range(1, n_items + 1))},
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Determinism and zero-perturbation guarantees of the observer.
+
+Two identical observed runs must produce byte-identical canonical event
+streams (despite the process-global block/launch/stream id counters
+advancing between them), and attaching an observer must not change the
+simulated result at all.
+"""
+
+import pytest
+
+from repro.core.models import KBKModel, MegakernelModel
+from repro.gpu import GPUDevice, K20C
+from repro.harness.runner import run_versapipe
+from repro.workloads.registry import get_workload
+
+from .conftest import observed_run, plain_run
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model_cls", [MegakernelModel, KBKModel])
+    def test_identical_runs_identical_streams(self, model_cls):
+        _res_a, obs_a = observed_run(model_cls())
+        _res_b, obs_b = observed_run(model_cls())
+        lines_a = obs_a.canonical_lines()
+        lines_b = obs_b.canonical_lines()
+        assert lines_a  # non-trivial stream
+        assert "\n".join(lines_a) == "\n".join(lines_b)
+
+    def test_workload_run_deterministic(self):
+        """A real workload (reyes under the hybrid plan) twice over."""
+        from repro.core.executor import FunctionalExecutor
+        from repro.core.models import HybridModel
+        from repro.obs import Observer
+
+        spec = get_workload("reyes")
+        params = spec.quick_params()
+
+        def once():
+            pipeline = spec.build_pipeline(params)
+            config = spec.versapipe_config(pipeline, K20C, params)
+            device = GPUDevice(K20C)
+            observer = Observer().attach(device)
+            HybridModel(config).run(
+                pipeline,
+                device,
+                FunctionalExecutor(pipeline),
+                spec.initial_items(params),
+            )
+            return observer.canonical_lines()
+
+        assert "\n".join(once()) == "\n".join(once())
+
+
+class TestZeroPerturbation:
+    @pytest.mark.parametrize("model_cls", [MegakernelModel, KBKModel])
+    def test_observed_run_times_unchanged(self, model_cls):
+        plain = plain_run(model_cls())
+        observed, _observer = observed_run(model_cls())
+        assert observed.time_ms == plain.time_ms
+        assert observed.cycles == plain.cycles
+        assert len(observed.outputs) == len(plain.outputs)
+
+    def test_unobserved_run_has_no_report(self):
+        result = plain_run(MegakernelModel())
+        assert result.report is None
+
+    def test_versapipe_cell_unperturbed(self):
+        spec = get_workload("pyramid")
+        params = spec.quick_params()
+        plain = run_versapipe(spec, K20C, params)
+        observed = run_versapipe(spec, K20C, params, observe=True)
+        assert observed.time_ms == plain.time_ms
+        assert observed.result.report is not None

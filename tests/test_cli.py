@@ -1,5 +1,7 @@
 """CLI smoke tests (direct main() invocation, captured stdout)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -40,6 +42,36 @@ class TestRun:
         with pytest.raises(KeyError):
             run_cli(capsys, "run", "tetris")
 
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code, out = run_cli(
+            capsys, "run", "reyes", "--model", "versapipe",
+            "--trace-out", str(path),
+        )
+        assert code == 0
+        assert f"wrote trace: {path}" in out
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        assert events
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "C" in phases and "M" in phases
+
+    def test_report_json_writes_run_report(self, capsys, tmp_path):
+        path = tmp_path / "report.json"
+        code, out = run_cli(
+            capsys, "run", "reyes", "--report-json", str(path)
+        )
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["label"] == "reyes/versapipe/K20c"
+        assert report["counters"]["queue_pushes"] > 0
+        assert report["sm_activity"]
+        assert report["stage_latency"]
+
+    def test_no_flags_no_observer_output(self, capsys):
+        _code, out = run_cli(capsys, "run", "reyes")
+        assert "wrote" not in out
+
 
 class TestCompare:
     def test_compare_prints_speedups(self, capsys):
@@ -47,6 +79,51 @@ class TestCompare:
         assert code == 0
         assert "baseline" in out
         assert "speedup over baseline" in out
+
+    def test_compare_report_json_per_model_and_aggregate(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "cmp.json"
+        code, _out = run_cli(
+            capsys, "compare", "pyramid", "--report-json", str(path)
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["workload"] == "pyramid"
+        assert set(payload["models"]) == {
+            "baseline", "megakernel", "versapipe"
+        }
+        assert payload["aggregate"]["runs"] == 3
+
+    def test_compare_trace_out_writes_per_model_files(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "cmp.json"
+        code, out = run_cli(
+            capsys, "compare", "pyramid", "--trace-out", str(path)
+        )
+        assert code == 0
+        for model in ("baseline", "megakernel", "versapipe"):
+            sibling = tmp_path / f"cmp.{model}.json"
+            assert sibling.exists(), model
+            assert json.loads(sibling.read_text())["traceEvents"]
+
+
+class TestStats:
+    def test_stats_prints_report_sections(self, capsys):
+        code, out = run_cli(capsys, "stats", "reyes")
+        assert code == 0
+        assert "per-stage task latency" in out
+        assert "per-SM activity" in out
+        assert "p50" in out and "p99" in out
+        assert "busy" in out and "starved" in out
+
+    def test_stats_with_model_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "stats", "ldpc", "--model", "megakernel"
+        )
+        assert code == 0
+        assert "run: ldpc/megakernel/K20c" in out
 
 
 class TestTune:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.gpu.specs import GTX1080, K20C
 from repro.harness.runner import (
+    aggregate_reports,
     longest_stage_ms,
     run_cell,
     run_versapipe,
@@ -77,6 +78,57 @@ class TestRunner:
             spec, MegakernelModel(), GTX1080, spec.quick_params()
         )
         assert cell.device == "GTX1080"
+
+
+class TestObservedCells:
+    def test_observe_attaches_labelled_report(self):
+        spec = get_workload("ldpc")
+        cell = run_cell(
+            spec, MegakernelModel(), K20C, spec.quick_params(), observe=True
+        )
+        report = cell.result.report
+        assert report is not None
+        assert report.label == "ldpc/megakernel/K20c"
+        assert report.num_events > 0
+        assert report.elapsed_ms == pytest.approx(cell.time_ms, rel=1e-6)
+
+    def test_observe_defaults_off(self):
+        spec = get_workload("ldpc")
+        cell = run_cell(spec, MegakernelModel(), K20C, spec.quick_params())
+        assert cell.result.report is None
+
+    def test_workload_models_observe_passthrough(self):
+        cells = run_workload_models(
+            "reyes", K20C, params=get_workload("reyes").quick_params(),
+            observe=True,
+        )
+        for name, cell in cells.items():
+            assert cell.result.report is not None, name
+
+    def test_aggregate_reports_rolls_up_sweep(self):
+        spec = get_workload("reyes")
+        params = spec.quick_params()
+        cells = list(
+            run_workload_models("reyes", K20C, params=params,
+                                observe=True).values()
+        )
+        sweep = aggregate_reports(cells, label="reyes-sweep")
+        assert sweep.label == "reyes-sweep"
+        assert sweep.runs == len(cells)
+        assert sweep.num_events == sum(
+            cell.result.report.num_events for cell in cells
+        )
+
+    def test_aggregate_skips_unobserved_cells(self):
+        spec = get_workload("ldpc")
+        observed = run_cell(
+            spec, MegakernelModel(), K20C, spec.quick_params(), observe=True
+        )
+        plain = run_cell(
+            spec, MegakernelModel(), K20C, spec.quick_params()
+        )
+        sweep = aggregate_reports([observed, plain])
+        assert sweep.runs == 1
 
 
 class TestLongestStage:
