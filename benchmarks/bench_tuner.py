@@ -8,7 +8,10 @@ as both the single-model alternatives and the hand-written
 (paper-described) configuration.
 """
 
+import json
 import math
+import os
+import time
 
 import pytest
 
@@ -17,8 +20,24 @@ from repro.core.models import HybridModel, MegakernelModel
 from repro.core.tuner.offline import OfflineTuner, TunerOptions
 from repro.core.tuner.profiler import profile_pipeline
 from repro.gpu import GPUDevice, K20C
+from repro.harness.runner import tune_workload
 from repro.workloads import ldpc, reyes
 from repro.workloads.registry import get_workload
+
+#: Machine-readable tuner results, written at the repo root so CI can
+#: compare them against the committed baseline (scripts/check_bench.py).
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_tuner.json",
+)
+
+#: The Figure-11 search spaces the parallel benchmark sweeps.
+_SEARCH_CASES = [
+    ("reyes", reyes.ReyesParams(num_base_patches=16, split_threshold=48.0)),
+    ("ldpc", ldpc.LDPCParams(num_frames=12, iterations=8)),
+]
+
+_SEARCH_OPTS = dict(max_configs=80, include_kbk_groups=False)
 
 
 def tune_and_compare(name, params):
@@ -104,3 +123,96 @@ def test_tuner_prunes_with_timeout(benchmark):
         f"{pruned} pruned by timeout/invalid ==="
     )
     assert pruned > 0
+
+
+def _timed_tune(name, params, workers, cache_dir=None):
+    options = TunerOptions(
+        workers=workers, cache_dir=cache_dir, **_SEARCH_OPTS
+    )
+    start = time.perf_counter()
+    tuned = tune_workload(name, K20C, params, options=options)
+    return tuned.report, time.perf_counter() - start
+
+
+def test_parallel_tuner_speedup_and_cache(benchmark, tmp_path):
+    """The parallel memoized search: workers scale wall-clock, the best
+    plan is byte-identical for any worker count, and a warm cache replays
+    nothing.
+
+    Wall-clock speedup is asserted only with >= 4 real cores (the search
+    is compute-bound; on fewer cores the workers just timeshare).  The
+    simulated ``best_time_ms`` lands in ``BENCH_tuner.json`` for the CI
+    regression gate — it is deterministic, unlike wall time.
+    """
+
+    def sweep():
+        payload = {}
+        for name, params in _SEARCH_CASES:
+            cache_dir = str(tmp_path / f"cache-{name}")
+            seq_report, seq_wall = _timed_tune(name, params, workers=1)
+            par_report, par_wall = _timed_tune(
+                name, params, workers=4, cache_dir=cache_dir
+            )
+            warm_report, warm_wall = _timed_tune(
+                name, params, workers=4, cache_dir=cache_dir
+            )
+            payload[name] = {
+                "reports": (seq_report, par_report, warm_report),
+                "walls": (seq_wall, par_wall, warm_wall),
+            }
+        return payload
+
+    payload = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    bench_json = {"workloads": {}}
+    print("\n=== Parallel memoized tuner (K20c, fig11 search spaces) ===")
+    for name, data in payload.items():
+        seq_report, par_report, warm_report = data["reports"]
+        seq_wall, par_wall, warm_wall = data["walls"]
+        speedup = seq_wall / par_wall if par_wall > 0 else float("inf")
+        print(
+            f"  {name:8s} w1 {seq_wall:6.2f}s  w4 {par_wall:6.2f}s "
+            f"({speedup:4.2f}x)  warm {warm_wall:6.2f}s "
+            f"(cache {warm_report.cache_hits} hits / "
+            f"{warm_report.cache_misses} misses)"
+        )
+
+        # The chosen plan must be byte-identical for any worker count.
+        assert seq_report.best_config == par_report.best_config
+        assert seq_report.best_time_ms == par_report.best_time_ms
+        assert [e.config.describe() for e in seq_report.evaluated] == [
+            e.config.describe() for e in par_report.evaluated
+        ]
+        # A warm cache must replay nothing: zero misses, every
+        # non-dominated outcome served from disk.
+        assert warm_report.cache_misses == 0
+        assert all(
+            e.cached or e.note == "dominated"
+            for e in warm_report.evaluated
+        )
+        assert warm_report.best_config == par_report.best_config
+
+        bench_json["workloads"][name] = {
+            "best_time_ms": seq_report.best_time_ms,
+            "num_evaluated": seq_report.num_evaluated,
+            "num_completed": seq_report.num_completed,
+            "num_dominated": seq_report.num_dominated,
+            "wall_s_workers1": seq_wall,
+            "wall_s_workers4": par_wall,
+            "wall_s_warm_cache": warm_wall,
+            "speedup_workers4": speedup,
+            "warm_cache_hits": warm_report.cache_hits,
+            "warm_cache_misses": warm_report.cache_misses,
+        }
+    with open(_BENCH_JSON, "w") as handle:
+        json.dump(bench_json, handle, indent=2, sort_keys=True)
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        total_seq = sum(d["walls"][0] for d in payload.values())
+        total_par = sum(d["walls"][1] for d in payload.values())
+        assert total_seq / total_par >= 2.0, (
+            f"expected >=2x wall-clock speedup at workers=4 on {cores} "
+            f"cores; got {total_seq / total_par:.2f}x"
+        )
+    else:
+        print(f"  (speedup assertion skipped: only {cores} core(s))")

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI benchmark regression gate.
+
+Compares a freshly generated ``BENCH_*.json`` against the committed
+baseline and fails when throughput regresses beyond a threshold.
+
+Both files are arbitrary nested JSON; every numeric leaf whose key ends
+in ``_ms`` is treated as a *lower-is-better* timing metric.  The gate
+statistic is the geometric mean of the per-metric ``current/baseline``
+ratios over the metrics present in both files — a geomean above
+``1 + threshold`` means throughput dropped by more than the allowed
+slice and the check fails.  Metrics present in only one file are
+reported but do not fail the gate (workloads come and go); zero or
+negative baselines are skipped.
+
+Usage::
+
+    python scripts/check_bench.py \
+        --baseline benchmarks/baselines/BENCH_fig11.json \
+        --current BENCH_fig11.json \
+        --threshold 0.10
+
+Exit codes: 0 = within budget, 1 = regression, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Iterator
+
+#: Keys ending in one of these are timing metrics (lower is better).
+METRIC_SUFFIXES = ("_ms",)
+
+
+def iter_metrics(node, path: str = "") -> Iterator[tuple[str, float]]:
+    """Yield (json-path, value) for every timing leaf under ``node``."""
+    if isinstance(node, dict):
+        for key in sorted(node):
+            child_path = f"{path}.{key}" if path else str(key)
+            yield from iter_metrics(node[key], child_path)
+    elif isinstance(node, list):
+        for idx, child in enumerate(node):
+            yield from iter_metrics(child, f"{path}[{idx}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        leaf = path.rsplit(".", 1)[-1]
+        if leaf.endswith(METRIC_SUFFIXES) and math.isfinite(node):
+            yield path, float(node)
+
+
+def load_metrics(path: str) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return dict(iter_metrics(payload))
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> tuple[bool, str]:
+    """Return (ok, human-readable report)."""
+    shared = [
+        key
+        for key in sorted(baseline)
+        if key in current and baseline[key] > 0 and current[key] > 0
+    ]
+    lines = []
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    if missing:
+        lines.append(f"note: {len(missing)} baseline metric(s) absent: "
+                     + ", ".join(missing[:5]))
+    if added:
+        lines.append(f"note: {len(added)} new metric(s) without baseline: "
+                     + ", ".join(added[:5]))
+    if not shared:
+        lines.append("error: no comparable metrics between the two files")
+        return False, "\n".join(lines)
+
+    log_sum = 0.0
+    worst_key, worst_ratio = "", 0.0
+    for key in shared:
+        ratio = current[key] / baseline[key]
+        log_sum += math.log(ratio)
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = "  <-- slower than budget"
+        lines.append(
+            f"  {key}: {baseline[key]:.4f} -> {current[key]:.4f} ms "
+            f"({ratio:.3f}x){flag}"
+        )
+        if ratio > worst_ratio:
+            worst_key, worst_ratio = key, ratio
+    geomean = math.exp(log_sum / len(shared))
+    lines.append(
+        f"geomean time ratio over {len(shared)} metric(s): {geomean:.4f} "
+        f"(budget <= {1.0 + threshold:.2f})"
+    )
+    lines.append(f"worst metric: {worst_key} at {worst_ratio:.3f}x")
+    ok = geomean <= 1.0 + threshold
+    lines.append("PASS" if ok else
+                 f"FAIL: geomean throughput regressed beyond "
+                 f"{threshold:.0%} budget")
+    return ok, "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH json")
+    parser.add_argument("--current", required=True,
+                        help="freshly generated BENCH json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed geomean slowdown (default 0.10 = 10%%)")
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_metrics(args.baseline)
+        current = load_metrics(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"check_bench: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+    ok, report = compare(baseline, current, args.threshold)
+    print(f"== check_bench: {args.current} vs {args.baseline} ==")
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,8 +38,8 @@ from .core.models import (
     MegakernelModel,
     RTCModel,
 )
-from .core.tuner.offline import OfflineTuner, TunerOptions
-from .core.tuner.profiler import profile_pipeline
+from .core.tuner.cache import DEFAULT_CACHE_DIR as _DEFAULT_TUNER_CACHE
+from .core.tuner.offline import TunerOptions
 from .gpu.device import GPUDevice
 from .gpu.specs import PRESETS, get_spec
 from .gpu.tracing import render_timeline
@@ -218,23 +218,40 @@ def cmd_stats(args) -> int:
 
 
 def cmd_tune(args) -> int:
+    from .harness.runner import tune_workload
+    from .obs.report import TunerStats
+
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
-    pipeline = spec.build_pipeline(params)
-    profile, trace = profile_pipeline(
-        pipeline, gpu, spec.initial_items(params)
-    )
-    print(f"profiled {profile.total_tasks} tasks")
-    tuner = OfflineTuner(
-        pipeline,
+    cache_dir = args.cache_dir
+    if cache_dir is not None:
+        cache_dir = os.path.expanduser(cache_dir)
+    tuned = tune_workload(
+        spec.name,
         gpu,
-        trace,
-        profile=profile,
-        options=TunerOptions(max_configs=args.budget),
+        params,
+        options=TunerOptions(
+            max_configs=args.budget,
+            workers=args.workers,
+            cache_dir=cache_dir,
+            dominance_pruning=not args.no_dominance,
+        ),
     )
-    report = tuner.tune()
+    report = tuned.report
+    print(f"profiled {tuned.profiled_tasks} tasks")
     print(report.summary())
+    if cache_dir is not None:
+        print(
+            f"cache: {report.cache_hits} hits / {report.cache_misses} misses"
+            f" ({cache_dir})"
+        )
+    if args.report_json:
+        stats = TunerStats.from_report(
+            report, label=f"{spec.name}/{gpu.name}"
+        )
+        write_report_json(args.report_json, stats)
+        print(f"wrote report: {args.report_json}")
     return 0
 
 
@@ -308,6 +325,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(tune)
     tune.add_argument(
         "--budget", type=int, default=80, help="max configurations to try"
+    )
+    tune.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the search (default: one per core; "
+        "1 = classic sequential loop)",
+    )
+    tune.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        nargs="?",
+        const=_DEFAULT_TUNER_CACHE,
+        default=None,
+        help="persistent profile cache directory; repeated runs skip "
+        f"already-simulated configs (default PATH: {_DEFAULT_TUNER_CACHE})",
+    )
+    tune.add_argument(
+        "--no-dominance",
+        action="store_true",
+        help="disable the throughput-bound dominance cut",
+    )
+    tune.add_argument(
+        "--report-json",
+        metavar="PATH",
+        nargs="?",
+        const="tuner.json",
+        help="write the tuner summary as JSON (default PATH: tuner.json)",
     )
 
     timeline = sub.add_parser(

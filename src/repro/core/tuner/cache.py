@@ -1,0 +1,287 @@
+"""Persistent on-disk cache of tuner evaluations.
+
+Replaying a candidate configuration is deterministic: the same pipeline
+topology, device spec, recorded trace and configuration always produce
+the same simulated time.  That makes every evaluated cell memoizable —
+repeated ``tune``/``compare`` invocations (and CI reruns) can skip
+already-simulated cells entirely.
+
+Layout
+------
+
+Each cell is one small JSON file::
+
+    <cache_dir>/<space_key[:16]>/<config_key>.json
+
+``space_key`` fingerprints everything shared by a search — the cache
+schema version, the pipeline topology (stage names, edges and kernel
+resources), the device spec, and the recorded trace (the workload seed:
+every task's stage, cost and children).  ``config_key`` additionally
+hashes the candidate configuration.  Any change to pipeline, device,
+workload or schema therefore lands in a different directory and misses
+cleanly; bumping :data:`CACHE_SCHEMA_VERSION` invalidates every existing
+entry at once.
+
+Entries record one of three outcomes:
+
+* ``completed`` — the replayed time in ms plus the queue-pressure
+  summary;
+* ``invalid`` — the configuration failed validation (deadline
+  independent, always reusable);
+* ``timeout`` — the replay ran past ``exceeded_cycles``.  A timeout
+  entry is only a hit when the *current* deadline is no larger than the
+  recorded one (the run would provably time out again); otherwise the
+  cell is re-evaluated and the entry overwritten.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent tuner
+workers sharing one cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..config import PipelineConfig
+from ..pipeline import Pipeline
+from ..trace import Trace
+from ...gpu.specs import GPUSpec
+from .profiler import QueuePressure
+
+#: Bump to invalidate every existing cache entry (schema change).
+CACHE_SCHEMA_VERSION = 1
+
+#: Default location honoured by ``repro tune --cache-dir`` with no value.
+DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-tuner")
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def pipeline_fingerprint(pipeline: Pipeline) -> str:
+    """Stable hash of the pipeline topology and kernel resources."""
+    rows = []
+    for name in pipeline.stage_names:
+        stage = pipeline.stage(name)
+        rows.append(
+            (
+                stage.name,
+                tuple(stage.emits_to),
+                stage.threads_per_item,
+                stage.threads_per_block,
+                stage.registers_per_thread,
+                stage.shared_mem_per_block,
+                stage.code_bytes,
+                stage.item_bytes,
+                bool(stage.requires_global_sync),
+            )
+        )
+    return _digest(json.dumps(rows, sort_keys=True))
+
+
+def spec_fingerprint(spec: GPUSpec) -> str:
+    """Stable hash of every architectural parameter of the device."""
+    row = {f.name: getattr(spec, f.name) for f in fields(spec)}
+    return _digest(json.dumps(row, sort_keys=True, default=repr))
+
+
+def trace_fingerprint(trace: Trace) -> str:
+    """Stable hash of the recorded task graph (the workload seed)."""
+    hasher = hashlib.sha256()
+    for node in trace.nodes:
+        hasher.update(
+            (
+                f"{node.node_id}|{node.stage}|{node.cost.cycles_per_thread!r}"
+                f"|{node.cost.mem_fraction!r}|{node.cost.min_cycles!r}"
+                f"|{node.children!r}|{node.n_outputs}\n"
+            ).encode("utf-8")
+        )
+    for stage in sorted(trace.initial):
+        hasher.update(f"@{stage}:{tuple(trace.initial[stage])!r}\n".encode())
+    return hasher.hexdigest()
+
+
+def config_fingerprint(config: PipelineConfig) -> str:
+    """Stable hash of one candidate configuration."""
+    rows = []
+    for group in config.groups:
+        block_map = (
+            sorted(group.block_map.items()) if group.block_map else None
+        )
+        rows.append(
+            (tuple(group.stages), group.model, tuple(group.sm_ids), block_map)
+        )
+    payload = json.dumps(
+        {"groups": rows, "policy": config.policy, "queue": config.queue_mode},
+        sort_keys=True,
+    )
+    return _digest(payload)
+
+
+@dataclass(frozen=True)
+class CachedEvaluation:
+    """One memoized cell, as read from (or about to be written to) disk."""
+
+    status: str  # "completed" | "invalid" | "timeout"
+    time_ms: float = math.inf
+    note: str = ""
+    exceeded_cycles: float = 0.0
+    pressure: Optional[QueuePressure] = None
+
+    def to_payload(self) -> dict:
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "status": self.status,
+            "note": self.note,
+        }
+        if self.status == "completed":
+            payload["time_ms"] = self.time_ms
+            if self.pressure is not None:
+                payload["pressure"] = {
+                    "peak": dict(self.pressure.peak_per_stage),
+                    "residual": dict(self.pressure.residual_per_stage),
+                }
+        if self.status == "timeout":
+            payload["exceeded_cycles"] = self.exceeded_cycles
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> Optional["CachedEvaluation"]:
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        status = payload.get("status")
+        if status == "completed":
+            time_ms = payload.get("time_ms")
+            if not isinstance(time_ms, (int, float)):
+                return None
+            pressure = None
+            raw = payload.get("pressure")
+            if isinstance(raw, dict):
+                pressure = QueuePressure(
+                    peak_per_stage=dict(raw.get("peak", {})),
+                    residual_per_stage=dict(raw.get("residual", {})),
+                )
+            return cls(
+                status="completed",
+                time_ms=float(time_ms),
+                note=str(payload.get("note", "")),
+                pressure=pressure,
+            )
+        if status == "invalid":
+            return cls(status="invalid", note=str(payload.get("note", "")))
+        if status == "timeout":
+            exceeded = payload.get("exceeded_cycles")
+            if not isinstance(exceeded, (int, float)):
+                return None
+            return cls(status="timeout", exceeded_cycles=float(exceeded))
+        return None
+
+
+class ProfileCache:
+    """Reads and writes memoized evaluations for one search space."""
+
+    def __init__(self, root: str, space_key: str) -> None:
+        self.root = os.path.expanduser(root)
+        self.space_key = space_key
+        self.space_dir = os.path.join(self.root, space_key[:16])
+
+    @classmethod
+    def open(
+        cls,
+        cache_dir: str,
+        pipeline: Pipeline,
+        spec: GPUSpec,
+        trace: Trace,
+    ) -> "ProfileCache":
+        space_key = _digest(
+            "|".join(
+                (
+                    f"schema={CACHE_SCHEMA_VERSION}",
+                    pipeline_fingerprint(pipeline),
+                    spec_fingerprint(spec),
+                    trace_fingerprint(trace),
+                )
+            )
+        )
+        return cls(cache_dir, space_key)
+
+    # ------------------------------------------------------------------
+    def path_for(self, config: PipelineConfig) -> str:
+        return os.path.join(
+            self.space_dir, config_fingerprint(config) + ".json"
+        )
+
+    def lookup(
+        self, config: PipelineConfig, deadline_cycles: float = math.inf
+    ) -> Optional[CachedEvaluation]:
+        """Return the memoized outcome, or None when it must be replayed.
+
+        A ``timeout`` entry only satisfies deadlines at least as strict
+        as the one it was recorded under.
+        """
+        try:
+            with open(self.path_for(config), "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        entry = CachedEvaluation.from_payload(payload)
+        if entry is None:
+            return None
+        if entry.status == "timeout" and entry.exceeded_cycles < deadline_cycles:
+            return None  # a longer deadline might let this cell finish
+        return entry
+
+    def store(self, config: PipelineConfig, entry: CachedEvaluation) -> None:
+        """Atomically write one cell (concurrent writers are safe)."""
+        os.makedirs(self.space_dir, exist_ok=True)
+        payload = json.dumps(entry.to_payload(), sort_keys=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.space_dir, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp_path, self.path_for(config))
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of memoized cells for this search space."""
+        try:
+            return sum(
+                1
+                for name in os.listdir(self.space_dir)
+                if name.endswith(".json") and not name.startswith(".tmp-")
+            )
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Drop every cell of this search space; returns how many."""
+        removed = 0
+        try:
+            names = os.listdir(self.space_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                os.unlink(os.path.join(self.space_dir, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed

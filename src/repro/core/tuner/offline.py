@@ -1,4 +1,4 @@
-"""Offline auto-tuner (Figure 10).
+"""Offline auto-tuner (Figure 10), parallel and memoized.
 
 Evaluates candidate configurations by *trace replay*: each candidate runs
 on a fresh simulated device against the recorded task graph, under a
@@ -6,28 +6,57 @@ timeout equal to the best time found so far — exactly the paper's
 ``timeoutexec(mintime, config)`` scheme, which prunes slow configurations
 cheaply.  The configuration with the shortest replayed execution becomes
 the initial hybrid plan; online adaptation then refines it at run time.
+
+Three accelerations on top of the paper's loop, none of which change the
+chosen plan:
+
+* **Parallel shards** — the candidate list is split into deterministic
+  round-robin shards (:func:`~repro.core.tuner.pool.stride_shards`),
+  each evaluated sequentially in its own worker process with its own
+  shrinking deadline.  Results merge in canonical candidate order, so
+  the best configuration is byte-identical for any
+  :attr:`TunerOptions.workers`; ``workers=1`` is the classic sequential
+  search.
+* **Dominance cut** — before replaying, each candidate's provable
+  throughput lower bound (:func:`~repro.core.tuner.space
+  .throughput_bound_cycles`, from the profiler's per-stage work) is
+  compared against the running deadline.  A candidate whose bound
+  already exceeds it would time out anyway and is skipped without
+  simulation (note ``"dominated"``).
+* **Profile cache** — with :attr:`TunerOptions.cache_dir` set, every
+  replay outcome is memoized on disk keyed by pipeline topology, device
+  spec, trace and configuration (:mod:`~repro.core.tuner.cache`);
+  repeated searches replay nothing.
+
+Candidates are always evaluated with ``online_adaptation`` off (the
+dominance bound relies on each group's work staying on its own SMs);
+the winning plan re-enables it per :attr:`TunerOptions.online_adaptation`.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ...gpu.device import GPUDevice
 from ...gpu.specs import GPUSpec
+from ...obs.events import EventBus, TunerEvaluation, TunerSearchCompleted
 from ..config import PipelineConfig
 from ..errors import ConfigurationError, ExecutionError, VersaPipeError
 from ..executor import ReplayExecutor
 from ..pipeline import Pipeline
 from ..trace import Trace
+from .cache import CachedEvaluation, ProfileCache
+from .pool import default_workers, map_shards, stride_shards
 from .profiler import (
     PipelineProfile,
     QueuePressure,
     queue_pressure,
     replay_placeholders,
 )
-from .space import enumerate_configs
+from .space import enumerate_configs, throughput_bound_cycles
 
 
 class DeadlineExceeded(VersaPipeError):
@@ -50,15 +79,41 @@ class TunerOptions:
     timeout_slack: float = 1.05
     #: Enable online adaptation in the final configuration.
     online_adaptation: bool = True
+    #: Worker processes for the search; ``None`` means one per core.
+    #: ``workers=1`` runs the classic in-process sequential loop.
+    workers: Optional[int] = None
+    #: Directory of the persistent profile cache; ``None`` disables it.
+    cache_dir: Optional[str] = None
+    #: Skip candidates whose throughput lower bound already exceeds the
+    #: running deadline (provably cannot beat the best).
+    dominance_pruning: bool = True
+
+    def resolved_workers(self) -> int:
+        if self.workers is None:
+            return default_workers()
+        return max(1, self.workers)
 
 
 @dataclass
 class EvaluatedConfig:
     config: PipelineConfig
-    time_ms: float  # math.inf when timed out or invalid
+    time_ms: float  # math.inf when timed out, dominated or invalid
     note: str = ""
     #: Backlog summary of the replay; None when the run never finished.
     pressure: Optional[QueuePressure] = None
+    #: Position in the canonical enumeration order.
+    index: int = -1
+    #: True when the outcome came from the profile cache, not a replay.
+    cached: bool = False
+
+    @property
+    def outcome(self) -> str:
+        """``completed``, ``timeout``, ``dominated`` or ``invalid``."""
+        if math.isfinite(self.time_ms):
+            return "completed"
+        if self.note in ("timeout", "dominated"):
+            return self.note
+        return "invalid"
 
 
 @dataclass
@@ -66,18 +121,216 @@ class TunerReport:
     best_config: PipelineConfig
     best_time_ms: float
     evaluated: list[EvaluatedConfig] = field(default_factory=list)
+    #: Profile-cache traffic (both zero when the cache is disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Worker processes the search actually used.
+    workers: int = 1
 
     @property
     def num_evaluated(self) -> int:
         return len(self.evaluated)
 
+    @property
+    def num_completed(self) -> int:
+        return sum(1 for e in self.evaluated if math.isfinite(e.time_ms))
+
+    @property
+    def num_timeout(self) -> int:
+        return sum(1 for e in self.evaluated if e.note == "timeout")
+
+    @property
+    def num_dominated(self) -> int:
+        return sum(1 for e in self.evaluated if e.note == "dominated")
+
+    @property
+    def num_invalid(self) -> int:
+        return sum(1 for e in self.evaluated if e.outcome == "invalid")
+
     def summary(self) -> str:
-        finished = sum(1 for e in self.evaluated if math.isfinite(e.time_ms))
-        return (
-            f"tuned over {self.num_evaluated} configs ({finished} completed, "
-            f"{self.num_evaluated - finished} pruned): best "
+        pruned = self.num_evaluated - self.num_completed
+        text = (
+            f"tuned over {self.num_evaluated} configs "
+            f"({self.num_completed} completed, {pruned} pruned: "
+            f"{self.num_timeout} timeout, {self.num_dominated} dominated, "
+            f"{self.num_invalid} invalid; "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses; "
+            f"{self.workers} workers): best "
             f"{self.best_time_ms:.3f} ms with {self.best_config.describe()}"
         )
+        return text
+
+
+@dataclass
+class _ShardResult:
+    records: list[EvaluatedConfig]
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class _SearchPayload:
+    """Everything a worker needs to evaluate a shard."""
+
+    pipeline: Pipeline
+    spec: GPUSpec
+    trace: Trace
+    profile: Optional[PipelineProfile]
+    options: TunerOptions
+    #: Deadline seed shared by every shard: the first candidate's time
+    #: (the coarsest grouping), evaluated once up front so parallel
+    #: shards prune nearly as hard as the sequential loop from their
+    #: very first candidate.  ``inf`` disables seeding (sequential mode).
+    seed_best_ms: float = math.inf
+
+
+def _replay_config(
+    pipeline: Pipeline,
+    spec: GPUSpec,
+    trace: Trace,
+    config: PipelineConfig,
+    deadline_cycles: float = math.inf,
+) -> tuple[float, QueuePressure]:
+    """Replay one configuration; returns (milliseconds, queue pressure).
+
+    Raises :class:`DeadlineExceeded` when the run passes the deadline and
+    :class:`ConfigurationError` for infeasible plans.
+    """
+    from ..models.hybrid import HybridEngine  # local import: avoid cycle
+
+    device = GPUDevice(spec)
+    executor = ReplayExecutor(pipeline, trace)
+    engine = HybridEngine(pipeline, device, executor, config)
+    engine.start(replay_placeholders(trace))
+
+    def over_deadline() -> bool:
+        return device.engine.now > deadline_cycles
+
+    device.engine.run(until=lambda: engine._complete() or over_deadline())
+    if not engine._complete():
+        if over_deadline():
+            raise DeadlineExceeded(
+                f"config exceeded {deadline_cycles:.0f} cycles"
+            )
+        raise ExecutionError("replay deadlocked (internal error)")
+    return device.elapsed_ms, queue_pressure(engine.ctx.depth_series)
+
+
+def _evaluate_shard(
+    payload: _SearchPayload, shard: list[tuple[int, PipelineConfig]]
+) -> _ShardResult:
+    """Sequential Figure-10 loop over one shard of the candidate list.
+
+    The deadline shrinks with the *shard-local* best, which keeps the
+    outcome a pure function of the shard's contents — no cross-worker
+    state, hence deterministic for any worker count.
+    """
+    pipeline = payload.pipeline
+    spec = payload.spec
+    options = payload.options
+    cache = (
+        ProfileCache.open(options.cache_dir, pipeline, spec, payload.trace)
+        if options.cache_dir
+        else None
+    )
+    result = _ShardResult(records=[])
+    best_ms = payload.seed_best_ms
+    for index, config in shard:
+        deadline = (
+            best_ms * options.timeout_slack * spec.clock_ghz * 1e6
+            if math.isfinite(best_ms)
+            else math.inf
+        )
+        if (
+            options.dominance_pruning
+            and payload.profile is not None
+            and math.isfinite(deadline)
+        ):
+            bound = throughput_bound_cycles(
+                pipeline, spec, payload.profile, config
+            )
+            if bound > deadline:
+                result.records.append(
+                    EvaluatedConfig(
+                        config, math.inf, note="dominated", index=index
+                    )
+                )
+                continue
+        if cache is not None:
+            entry = cache.lookup(config, deadline_cycles=deadline)
+            if entry is not None:
+                result.cache_hits += 1
+                record = _record_from_cache(config, index, entry)
+                result.records.append(record)
+                if record.time_ms < best_ms:
+                    best_ms = record.time_ms
+                continue
+            result.cache_misses += 1
+        try:
+            time_ms, pressure = _replay_config(
+                pipeline, spec, payload.trace, config, deadline_cycles=deadline
+            )
+        except DeadlineExceeded:
+            result.records.append(
+                EvaluatedConfig(config, math.inf, note="timeout", index=index)
+            )
+            if cache is not None:
+                cache.store(
+                    config,
+                    CachedEvaluation(
+                        status="timeout", exceeded_cycles=deadline
+                    ),
+                )
+            continue
+        except ConfigurationError as exc:
+            result.records.append(
+                EvaluatedConfig(
+                    config, math.inf, note=f"invalid: {exc}", index=index
+                )
+            )
+            if cache is not None:
+                cache.store(
+                    config,
+                    CachedEvaluation(status="invalid", note=f"invalid: {exc}"),
+                )
+            continue
+        result.records.append(
+            EvaluatedConfig(config, time_ms, pressure=pressure, index=index)
+        )
+        if cache is not None:
+            cache.store(
+                config,
+                CachedEvaluation(
+                    status="completed", time_ms=time_ms, pressure=pressure
+                ),
+            )
+        if time_ms < best_ms:
+            best_ms = time_ms
+    return result
+
+
+def _record_from_cache(
+    config: PipelineConfig, index: int, entry: CachedEvaluation
+) -> EvaluatedConfig:
+    if entry.status == "completed":
+        return EvaluatedConfig(
+            config,
+            entry.time_ms,
+            pressure=entry.pressure,
+            index=index,
+            cached=True,
+        )
+    if entry.status == "timeout":
+        return EvaluatedConfig(
+            config, math.inf, note="timeout", index=index, cached=True
+        )
+    return EvaluatedConfig(
+        config,
+        math.inf,
+        note=entry.note or "invalid: cached",
+        index=index,
+        cached=True,
+    )
 
 
 class OfflineTuner:
@@ -90,12 +343,14 @@ class OfflineTuner:
         trace: Trace,
         profile: Optional[PipelineProfile] = None,
         options: Optional[TunerOptions] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.pipeline = pipeline
         self.spec = spec
         self.trace = trace
         self.profile = profile
         self.options = options or TunerOptions()
+        self.bus = bus
         #: Queue-pressure summary of the most recent completed replay.
         self.last_pressure: Optional[QueuePressure] = None
 
@@ -108,78 +363,136 @@ class OfflineTuner:
         Raises :class:`DeadlineExceeded` when the run passes the deadline
         and :class:`ConfigurationError` for infeasible plans.
         """
-        from ..models.hybrid import HybridEngine  # local import: avoid cycle
-
-        device = GPUDevice(self.spec)
-        executor = ReplayExecutor(self.pipeline, self.trace)
-        engine = HybridEngine(self.pipeline, device, executor, config)
-        engine.start(replay_placeholders(self.trace))
-
-        def over_deadline() -> bool:
-            return device.engine.now > deadline_cycles
-
-        device.engine.run(until=lambda: engine._complete() or over_deadline())
-        if not engine._complete():
-            if over_deadline():
-                raise DeadlineExceeded(
-                    f"config exceeded {deadline_cycles:.0f} cycles"
-                )
-            raise ExecutionError("replay deadlocked (internal error)")
-        self.last_pressure = queue_pressure(engine.ctx.depth_series)
-        return device.elapsed_ms
+        time_ms, pressure = _replay_config(
+            self.pipeline,
+            self.spec,
+            self.trace,
+            config,
+            deadline_cycles=deadline_cycles,
+        )
+        self.last_pressure = pressure
+        return time_ms
 
     # ------------------------------------------------------------------
+    def candidates(self) -> list[PipelineConfig]:
+        """The budgeted candidate list, in canonical enumeration order."""
+        options = self.options
+        return list(
+            itertools.islice(
+                enumerate_configs(
+                    self.pipeline,
+                    self.spec,
+                    profile=self.profile,
+                    max_sm_variants=options.max_sm_variants,
+                    max_block_maps=options.max_block_maps,
+                    include_kbk_groups=options.include_kbk_groups,
+                ),
+                options.max_configs,
+            )
+        )
+
     def tune(self) -> TunerReport:
         """Run the Figure-10 search loop and return the best plan."""
         options = self.options
-        evaluated: list[EvaluatedConfig] = []
+        candidates = self.candidates()
+        workers = min(options.resolved_workers(), max(1, len(candidates)))
+        payload = _SearchPayload(
+            pipeline=self.pipeline,
+            spec=self.spec,
+            trace=self.trace,
+            profile=self.profile,
+            options=options,
+        )
+        indexed = list(enumerate(candidates))
+        seed_results: list[_ShardResult] = []
+        if workers > 1 and indexed:
+            # Evaluate the first candidate (the coarsest grouping) once,
+            # in-process, and seed every shard's deadline with its time:
+            # parallel shards then prune almost as hard as the
+            # sequential loop without any cross-worker communication,
+            # and the search stays deterministic for any worker count.
+            seed = _evaluate_shard(payload, indexed[:1])
+            seed_results.append(seed)
+            seed_times = [
+                r.time_ms for r in seed.records if math.isfinite(r.time_ms)
+            ]
+            if seed_times:
+                payload.seed_best_ms = min(seed_times)
+            indexed = indexed[1:]
+        shards = stride_shards(indexed, workers)
+        shard_results = seed_results + map_shards(
+            _evaluate_shard, payload, shards, workers
+        )
+
+        evaluated: list[EvaluatedConfig] = sorted(
+            (
+                record
+                for shard in shard_results
+                for record in shard.records
+            ),
+            key=lambda record: record.index,
+        )
+        cache_hits = sum(s.cache_hits for s in shard_results)
+        cache_misses = sum(s.cache_misses for s in shard_results)
+
         best: Optional[PipelineConfig] = None
         best_ms = math.inf
-        candidates = enumerate_configs(
-            self.pipeline,
-            self.spec,
-            profile=self.profile,
-            max_sm_variants=options.max_sm_variants,
-            max_block_maps=options.max_block_maps,
-            include_kbk_groups=options.include_kbk_groups,
-        )
-        for index, config in enumerate(candidates):
-            if index >= options.max_configs:
-                break
-            deadline = (
-                best_ms
-                * options.timeout_slack
-                * self.spec.clock_ghz
-                * 1e6  # ms -> cycles
-                if math.isfinite(best_ms)
-                else math.inf
-            )
-            try:
-                time_ms = self.evaluate(config, deadline_cycles=deadline)
-            except DeadlineExceeded:
-                evaluated.append(
-                    EvaluatedConfig(config, math.inf, note="timeout")
-                )
-                continue
-            except ConfigurationError as exc:
-                evaluated.append(
-                    EvaluatedConfig(config, math.inf, note=f"invalid: {exc}")
-                )
-                continue
-            evaluated.append(
-                EvaluatedConfig(config, time_ms, pressure=self.last_pressure)
-            )
-            if time_ms < best_ms:
-                best, best_ms = config, time_ms
+        for record in evaluated:  # canonical order: ties go to the
+            if record.time_ms < best_ms:  # earliest candidate, as in the
+                best = record.config  # sequential search
+                best_ms = record.time_ms
+            if record.pressure is not None:
+                self.last_pressure = record.pressure
+        self._emit_events(evaluated, best_ms, cache_hits, cache_misses, workers)
         if best is None:
             raise ConfigurationError(
                 "the tuner found no feasible configuration"
             )
-        final = PipelineConfig(
-            groups=best.groups,
-            policy=best.policy,
-            online_adaptation=options.online_adaptation,
-        )
+        final = replace(best, online_adaptation=options.online_adaptation)
         return TunerReport(
-            best_config=final, best_time_ms=best_ms, evaluated=evaluated
+            best_config=final,
+            best_time_ms=best_ms,
+            evaluated=evaluated,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            workers=workers,
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_events(
+        self,
+        evaluated: list[EvaluatedConfig],
+        best_ms: float,
+        cache_hits: int,
+        cache_misses: int,
+        workers: int,
+    ) -> None:
+        if self.bus is None:
+            return
+        for record in evaluated:
+            self.bus.emit(
+                TunerEvaluation(
+                    t=float(record.index),
+                    index=record.index,
+                    config=record.config.describe(),
+                    time_ms=record.time_ms,
+                    outcome=record.outcome,
+                    cached=record.cached,
+                )
+            )
+        self.bus.emit(
+            TunerSearchCompleted(
+                t=float(len(evaluated)),
+                evaluated=len(evaluated),
+                completed=sum(
+                    1 for e in evaluated if math.isfinite(e.time_ms)
+                ),
+                timeouts=sum(1 for e in evaluated if e.note == "timeout"),
+                dominated=sum(1 for e in evaluated if e.note == "dominated"),
+                invalid=sum(1 for e in evaluated if e.outcome == "invalid"),
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                workers=workers,
+                best_time_ms=best_ms,
+            )
         )

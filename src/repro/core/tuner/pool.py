@@ -1,0 +1,100 @@
+"""Process-pool plumbing for the parallel offline tuner.
+
+The tuner splits its candidate list into deterministic *stride shards*
+(shard ``i`` holds candidates ``i, i+W, i+2W, ...``) and evaluates each
+shard sequentially inside one worker process.  Sharding is pure
+arithmetic, so the decomposition — and therefore the merged result — is
+reproducible for any worker count; with one worker the single shard is
+exactly the classic sequential search.
+
+Workers are plain ``multiprocessing`` pool processes.  On platforms
+where the payload cannot cross the process boundary (an unpicklable
+pipeline under the ``spawn`` start method, for example) the pool
+degrades to in-process execution of the same shards, preserving results
+exactly at the cost of parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Callable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Worker-process payload installed by the pool initializer.
+_PAYLOAD: Optional[object] = None
+
+
+def default_workers() -> int:
+    """The default worker count: one per available core."""
+    return max(1, os.cpu_count() or 1)
+
+
+def stride_shards(items: Sequence[T], workers: int) -> list[list[T]]:
+    """Split ``items`` into at most ``workers`` round-robin shards.
+
+    Every shard is non-empty and the union, read back in stride order,
+    reproduces ``items`` exactly — the tuner relies on this to merge
+    shard results in canonical candidate order.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    count = min(workers, len(items))
+    if count <= 1:
+        return [list(items)] if items else []
+    return [list(items[offset::count]) for offset in range(count)]
+
+
+def _initializer(payload: object) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def _invoke(task: tuple[Callable[[object, T], R], T]) -> R:
+    fn, shard = task
+    return fn(_PAYLOAD, shard)
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where available (cheap, no payload pickling), else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def map_shards(
+    fn: Callable[[object, list[T]], R],
+    payload: object,
+    shards: Sequence[list[T]],
+    workers: int,
+) -> list[R]:
+    """Run ``fn(payload, shard)`` for every shard, in order.
+
+    ``fn`` must be a module-level function (pickled by reference).  With
+    one worker or one shard everything runs in-process; otherwise a pool
+    of ``min(workers, len(shards))`` processes evaluates the shards
+    concurrently.  Results come back in shard order regardless of
+    completion order.
+    """
+    shards = list(shards)
+    if not shards:
+        return []
+    processes = min(workers, len(shards))
+    if processes <= 1:
+        return [fn(payload, shard) for shard in shards]
+    ctx = _preferred_context()
+    try:
+        with ctx.Pool(
+            processes=processes,
+            initializer=_initializer,
+            initargs=(payload,),
+        ) as pool:
+            return pool.map(_invoke, [(fn, shard) for shard in shards])
+    except (pickle.PicklingError, TypeError, AttributeError):
+        # The payload (or a result) cannot cross the process boundary;
+        # fall back to the identical in-process evaluation.
+        return [fn(payload, shard) for shard in shards]

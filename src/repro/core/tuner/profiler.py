@@ -30,11 +30,19 @@ class StageProfile:
     total_cycles: float
     mean_cycles: float
     registers_per_thread: int
+    #: Threads participating per task (the paper's ``threadNum``); lets
+    #: the dominance bound convert per-thread cycles into SM lane work.
+    threads_per_item: int = 1
 
     @property
     def weight(self) -> float:
         """Load estimate used for proportional SM allocation."""
         return self.total_cycles
+
+    @property
+    def thread_cycles(self) -> float:
+        """Total SM lane work of the stage (cycles x threads per task)."""
+        return self.total_cycles * self.threads_per_item
 
 
 @dataclass(frozen=True)
@@ -115,6 +123,7 @@ def profile_pipeline(
             total_cycles=total,
             mean_cycles=total / tasks if tasks else 0.0,
             registers_per_thread=stage.registers_per_thread,
+            threads_per_item=stage.threads_per_item,
         )
     return (
         PipelineProfile(stages=profiles, total_tasks=trace.num_tasks),

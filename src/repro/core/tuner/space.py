@@ -29,6 +29,11 @@ from ..config import GroupConfig, PipelineConfig, max_fine_blocks
 from ..pipeline import Pipeline
 from .profiler import PipelineProfile
 
+#: Relative safety margin on the dominance bound: the bound must stay a
+#: strict *lower* bound on simulated time even under floating-point
+#: cancellation, or pruning could discard the true optimum.
+_BOUND_SAFETY = 0.999
+
 
 def contiguous_partitions(n: int) -> Iterator[tuple[int, ...]]:
     """All compositions of ``n`` (ordered group sizes), coarsest first."""
@@ -172,6 +177,47 @@ def fine_block_maps(
     ]
     maximal.sort(key=lambda m: (-sum(m.values()), tuple(m[s] for s in stages)))
     return maximal[:max_maps]
+
+
+def throughput_bound_cycles(
+    pipeline: Pipeline,
+    spec: GPUSpec,
+    profile: PipelineProfile,
+    config: PipelineConfig,
+) -> float:
+    """Provable lower bound on a configuration's replayed time, in cycles.
+
+    Work queues route every task of a stage to the group that owns the
+    stage, and each group's blocks run only on its ``sm_ids`` — so the
+    profiled thread-cycles of a group's stages must all drain through
+    that group's SMs.  An SM retires at most ``cores_per_sm``
+    thread-cycles per clock (the lane throughput cap in
+    :meth:`~repro.gpu.sm.StreamingMultiprocessor._reschedule`), and L1
+    locality can discount a task's cost by at most
+    ``l1_locality_bonus``.  Everything else the simulator models —
+    queue fetch/push delays, ``min_cycles`` floors, icache penalties,
+    sub-peak utilization — only adds time, so::
+
+        elapsed >= max over groups of
+            (1 - l1_bonus) * thread_cycles(group) / (|SMs| * cores_per_sm)
+
+    The offline tuner uses this as its *dominance cut*: a candidate
+    whose bound already exceeds the running best's deadline is strictly
+    dominated and is pruned without replaying it.
+    """
+    discount = max(0.0, 1.0 - spec.l1_locality_bonus)
+    bound = 0.0
+    for group in config.groups:
+        thread_cycles = sum(
+            profile.stages[s].total_cycles
+            * pipeline.stage(s).threads_per_item
+            for s in group.stages
+            if s in profile.stages
+        )
+        lanes = len(group.sm_ids) * spec.cores_per_sm
+        if lanes > 0:
+            bound = max(bound, discount * thread_cycles / lanes)
+    return bound * _BOUND_SAFETY
 
 
 def enumerate_configs(

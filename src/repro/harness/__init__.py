@@ -4,15 +4,18 @@ the paper's reported numbers."""
 
 from .runner import (
     ExperimentCell,
+    TunedWorkload,
     aggregate_reports,
     run_cell,
     run_versapipe,
     run_workload_models,
+    tune_workload,
 )
 from .tables import format_table, ratio, render_figure11, render_table2
 
 __all__ = [
     "ExperimentCell",
+    "TunedWorkload",
     "aggregate_reports",
     "format_table",
     "ratio",
@@ -21,4 +24,5 @@ __all__ = [
     "run_cell",
     "run_versapipe",
     "run_workload_models",
+    "tune_workload",
 ]

@@ -20,10 +20,16 @@ from ..core.models import (
 from ..core.models.base import ExecutionModel
 from ..core.result import RunResult
 from ..core.trace import Trace
-from ..core.tuner.profiler import profile_pipeline, replay_placeholders
+from ..core.tuner.offline import OfflineTuner, TunerOptions, TunerReport
+from ..core.tuner.profiler import (
+    PipelineProfile,
+    profile_pipeline,
+    replay_placeholders,
+)
 from ..gpu.device import GPUDevice
 from ..gpu.specs import GPUSpec, K20C
-from ..obs import Observer, RunReport
+from ..obs import Observer, RunReport, TunerStats
+from ..obs.events import EventBus
 from ..workloads.registry import WorkloadSpec, get_workload
 
 
@@ -160,6 +166,59 @@ def run_workload_models(
             spec, gpu, params, check=check, observe=observe
         ),
     }
+
+
+@dataclass
+class TunedWorkload:
+    """Everything the offline tuner produced for one workload."""
+
+    workload: str
+    device: str
+    report: TunerReport
+    profile: PipelineProfile
+    trace: Trace
+    profiled_tasks: int
+
+    @property
+    def stats(self) -> TunerStats:
+        return TunerStats.from_report(
+            self.report, label=f"{self.workload}/{self.device}"
+        )
+
+
+def tune_workload(
+    name: str,
+    gpu: GPUSpec = K20C,
+    params: Optional[object] = None,
+    options: Optional[TunerOptions] = None,
+    bus: Optional[EventBus] = None,
+) -> TunedWorkload:
+    """Profile one workload and run the offline search end to end.
+
+    The one-stop entry point shared by ``repro tune``, the tuner
+    benchmark and the CI gate: records the trace, builds the profile,
+    and runs :class:`~repro.core.tuner.offline.OfflineTuner` with the
+    given options (worker pool, profile cache, dominance pruning
+    included).
+    """
+    spec = get_workload(name)
+    params = params if params is not None else spec.default_params()
+    pipeline = spec.build_pipeline(params)
+    profile, trace = profile_pipeline(
+        pipeline, gpu, spec.initial_items(params)
+    )
+    tuner = OfflineTuner(
+        pipeline, gpu, trace, profile=profile, options=options, bus=bus
+    )
+    report = tuner.tune()
+    return TunedWorkload(
+        workload=spec.name,
+        device=gpu.name,
+        report=report,
+        profile=profile,
+        trace=trace,
+        profiled_tasks=trace.num_tasks,
+    )
 
 
 def aggregate_reports(

@@ -22,7 +22,12 @@ from __future__ import annotations
 from typing import Optional
 
 from .depth import DepthSeries
-from .events import EVENT_TYPES, EventBus
+from .events import (
+    EVENT_TYPES,
+    EventBus,
+    TunerEvaluation,
+    TunerSearchCompleted,
+)
 from .export import (
     chrome_trace,
     events_csv,
@@ -36,6 +41,7 @@ from .report import (
     RunReport,
     SMActivity,
     StageTaskStats,
+    TunerStats,
 )
 
 
@@ -107,6 +113,9 @@ __all__ = [
     "RunReport",
     "SMActivity",
     "StageTaskStats",
+    "TunerEvaluation",
+    "TunerSearchCompleted",
+    "TunerStats",
     "chrome_trace",
     "events_csv",
     "write_chrome_trace",

@@ -204,6 +204,43 @@ class GroupExited(Event):
     blocks: int
 
 
+@dataclass(slots=True)
+class TunerEvaluation(Event):
+    """The offline tuner finished one candidate configuration.
+
+    Tuner events are host-side: ``t`` is the candidate's position in the
+    canonical enumeration order, not a device clock.  ``outcome`` is one
+    of ``completed``, ``timeout``, ``dominated`` or ``invalid``;
+    ``cached`` marks outcomes served from the persistent profile cache
+    instead of a fresh replay.
+    """
+
+    kind: ClassVar[str] = "tuner_eval"
+
+    index: int
+    config: str
+    time_ms: float
+    outcome: str
+    cached: bool
+
+
+@dataclass(slots=True)
+class TunerSearchCompleted(Event):
+    """The offline tuner's search finished; one summary event per run."""
+
+    kind: ClassVar[str] = "tuner_done"
+
+    evaluated: int
+    completed: int
+    timeouts: int
+    dominated: int
+    invalid: int
+    cache_hits: int
+    cache_misses: int
+    workers: int
+    best_time_ms: float
+
+
 #: Event classes in a stable order (used by exporters and docs).
 EVENT_TYPES = (
     KernelLaunched,
@@ -217,4 +254,6 @@ EVENT_TYPES = (
     Memcpy,
     Adaptation,
     GroupExited,
+    TunerEvaluation,
+    TunerSearchCompleted,
 )

@@ -21,6 +21,7 @@ Reports are mergeable (:meth:`RunReport.merge` /
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -36,6 +37,8 @@ from .events import (
     Memcpy,
     QueuePop,
     QueuePush,
+    TunerEvaluation,
+    TunerSearchCompleted,
 )
 
 
@@ -553,4 +556,112 @@ class RunReport:
                 "counters: "
                 + "  ".join(f"{k}={int(v)}" for k, v in shown.items())
             )
+        return "\n".join(lines)
+
+
+@dataclass
+class TunerStats:
+    """Condensed view of one offline-tuner search.
+
+    Built either from a :class:`~repro.core.tuner.offline.TunerReport`
+    (duck-typed, so this module never imports ``repro.core``) or from a
+    recorded stream of :class:`~repro.obs.events.TunerEvaluation` /
+    :class:`~repro.obs.events.TunerSearchCompleted` events.  This is what
+    ``repro tune --report-json`` serialises and what the CI benchmark
+    gate compares across commits.
+    """
+
+    label: str = ""
+    evaluated: int = 0
+    completed: int = 0
+    timeouts: int = 0
+    dominated: int = 0
+    invalid: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    best_time_ms: float = math.inf
+    best_config: str = ""
+
+    @classmethod
+    def from_report(cls, report, label: str = "") -> "TunerStats":
+        """Summarise a tuner report (any object with its fields)."""
+        return cls(
+            label=label,
+            evaluated=report.num_evaluated,
+            completed=report.num_completed,
+            timeouts=report.num_timeout,
+            dominated=report.num_dominated,
+            invalid=report.num_invalid,
+            cache_hits=report.cache_hits,
+            cache_misses=report.cache_misses,
+            workers=report.workers,
+            best_time_ms=report.best_time_ms,
+            best_config=report.best_config.describe(),
+        )
+
+    @classmethod
+    def from_events(cls, events: Sequence, label: str = "") -> "TunerStats":
+        """Rebuild the summary from a recorded tuner event stream."""
+        stats = cls(label=label)
+        for event in events:
+            if isinstance(event, TunerSearchCompleted):
+                stats.evaluated = event.evaluated
+                stats.completed = event.completed
+                stats.timeouts = event.timeouts
+                stats.dominated = event.dominated
+                stats.invalid = event.invalid
+                stats.cache_hits = event.cache_hits
+                stats.cache_misses = event.cache_misses
+                stats.workers = event.workers
+                stats.best_time_ms = event.best_time_ms
+            elif isinstance(event, TunerEvaluation):
+                if (
+                    event.outcome == "completed"
+                    and event.time_ms <= stats.best_time_ms
+                    and not stats.best_config
+                ):
+                    stats.best_config = event.config
+        return stats
+
+    @property
+    def pruned(self) -> int:
+        return self.timeouts + self.dominated + self.invalid
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "evaluated": self.evaluated,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+            "dominated": self.dominated,
+            "invalid": self.invalid,
+            "pruned": self.pruned,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers": self.workers,
+            "best_time_ms": self.best_time_ms,
+            "best_config": self.best_config,
+        }
+
+    def summary_text(self) -> str:
+        lines = []
+        if self.label:
+            lines.append(f"tuner: {self.label}")
+        lines.append(
+            f"evaluated {self.evaluated} configs: {self.completed} completed,"
+            f" {self.timeouts} timeout, {self.dominated} dominated,"
+            f" {self.invalid} invalid ({self.workers} workers)"
+        )
+        lines.append(
+            f"cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            f" ({self.cache_hit_rate:.0%} hit rate)"
+        )
+        lines.append(f"best: {self.best_time_ms:.3f} ms  {self.best_config}")
         return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Persistent profile cache: hits, misses, invalidation, fingerprints."""
+
+import json
+import math
+import os
+
+from repro.core.tuner import cache as cache_mod
+from repro.core.tuner.cache import (
+    CACHE_SCHEMA_VERSION,
+    CachedEvaluation,
+    ProfileCache,
+    config_fingerprint,
+    pipeline_fingerprint,
+    spec_fingerprint,
+    trace_fingerprint,
+)
+from repro.core.tuner.offline import OfflineTuner, TunerOptions
+from repro.core.tuner.profiler import profile_pipeline
+from repro.gpu.specs import K20C, get_spec
+
+from .conftest import toy_pipeline
+
+
+def _tuner(cache_dir, workers=1, budget=25):
+    pipe = toy_pipeline()
+    initial = {"doubler": list(range(1, 200))}
+    profile, trace = profile_pipeline(pipe, K20C, initial)
+    return OfflineTuner(
+        pipe,
+        K20C,
+        trace,
+        profile=profile,
+        options=TunerOptions(
+            max_configs=budget, workers=workers, cache_dir=str(cache_dir)
+        ),
+    )
+
+
+class TestSearchWithCache:
+    def test_cold_then_warm(self, tmp_path):
+        cold = _tuner(tmp_path / "c").tune()
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == cold.num_evaluated - cold.num_dominated
+
+        warm = _tuner(tmp_path / "c").tune()
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == cold.cache_misses
+        assert all(
+            e.cached or e.note == "dominated" for e in warm.evaluated
+        )
+        assert warm.best_config == cold.best_config
+        assert warm.best_time_ms == cold.best_time_ms
+
+    def test_cache_disabled_reports_zero_traffic(self, tmp_path):
+        pipe = toy_pipeline()
+        profile, trace = profile_pipeline(
+            pipe, K20C, {"doubler": list(range(1, 100))}
+        )
+        report = OfflineTuner(
+            pipe, K20C, trace, profile=profile,
+            options=TunerOptions(max_configs=10),
+        ).tune()
+        assert report.cache_hits == 0 and report.cache_misses == 0
+        assert not any(e.cached for e in report.evaluated)
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        first = _tuner(tmp_path / "c").tune()
+        assert first.cache_misses > 0
+        monkeypatch.setattr(
+            cache_mod, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        rerun = _tuner(tmp_path / "c").tune()
+        assert rerun.cache_hits == 0  # every old entry misses cleanly
+        assert rerun.best_config == first.best_config
+
+    def test_different_workload_different_space(self, tmp_path):
+        """A changed trace must land in a different space directory."""
+        pipe = toy_pipeline()
+        _, trace_a = profile_pipeline(pipe, K20C, {"doubler": [1, 2, 3]})
+        _, trace_b = profile_pipeline(pipe, K20C, {"doubler": [4, 5, 6]})
+        cache_a = ProfileCache.open(str(tmp_path), pipe, K20C, trace_a)
+        cache_b = ProfileCache.open(str(tmp_path), pipe, K20C, trace_b)
+        assert cache_a.space_dir != cache_b.space_dir
+
+
+class TestCacheSemantics:
+    def _cache(self, tmp_path):
+        pipe = toy_pipeline()
+        _, trace = profile_pipeline(pipe, K20C, {"doubler": [1, 2, 3]})
+        tuner_opts = TunerOptions(max_configs=1)
+        config = OfflineTuner(
+            pipe, K20C, trace, options=tuner_opts
+        ).candidates()[0]
+        return ProfileCache.open(str(tmp_path), pipe, K20C, trace), config
+
+    def test_roundtrip_completed(self, tmp_path):
+        cache, config = self._cache(tmp_path)
+        assert cache.lookup(config) is None
+        cache.store(
+            config, CachedEvaluation(status="completed", time_ms=1.25)
+        )
+        entry = cache.lookup(config)
+        assert entry is not None
+        assert entry.status == "completed" and entry.time_ms == 1.25
+
+    def test_timeout_entry_deadline_semantics(self, tmp_path):
+        cache, config = self._cache(tmp_path)
+        cache.store(
+            config,
+            CachedEvaluation(status="timeout", exceeded_cycles=100.0),
+        )
+        # Stricter (or equal) deadline: the run would provably time out
+        # again, so the entry is a hit.
+        hit = cache.lookup(config, deadline_cycles=50.0)
+        assert hit is not None and hit.status == "timeout"
+        assert cache.lookup(config, deadline_cycles=100.0) is not None
+        # Looser deadline: the run might finish now; must re-evaluate.
+        assert cache.lookup(config, deadline_cycles=200.0) is None
+        assert cache.lookup(config, deadline_cycles=math.inf) is None
+
+    def test_invalid_entry_always_hits(self, tmp_path):
+        cache, config = self._cache(tmp_path)
+        cache.store(
+            config, CachedEvaluation(status="invalid", note="invalid: nope")
+        )
+        entry = cache.lookup(config, deadline_cycles=1.0)
+        assert entry is not None and entry.status == "invalid"
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache, config = self._cache(tmp_path)
+        cache.store(config, CachedEvaluation(status="completed", time_ms=2.0))
+        with open(cache.path_for(config), "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert cache.lookup(config) is None
+
+    def test_unknown_status_is_a_miss(self, tmp_path):
+        cache, config = self._cache(tmp_path)
+        os.makedirs(cache.space_dir, exist_ok=True)
+        with open(cache.path_for(config), "w", encoding="utf-8") as fh:
+            json.dump(
+                {"schema": CACHE_SCHEMA_VERSION, "status": "quantum"}, fh
+            )
+        assert cache.lookup(config) is None
+
+    def test_entry_count_and_clear(self, tmp_path):
+        cache, config = self._cache(tmp_path)
+        assert cache.entry_count() == 0
+        cache.store(config, CachedEvaluation(status="completed", time_ms=1.0))
+        assert cache.entry_count() == 1
+        assert cache.clear() == 1
+        assert cache.entry_count() == 0
+        assert cache.lookup(config) is None
+
+
+class TestFingerprints:
+    def test_config_fingerprint_distinguishes(self):
+        pipe = toy_pipeline()
+        configs = OfflineTuner(
+            pipe, K20C,
+            profile_pipeline(pipe, K20C, {"doubler": [1]})[1],
+            options=TunerOptions(max_configs=10),
+        ).candidates()
+        keys = {config_fingerprint(c) for c in configs}
+        assert len(keys) == len(configs)
+
+    def test_spec_fingerprint_distinguishes_devices(self):
+        assert spec_fingerprint(K20C) != spec_fingerprint(
+            get_spec("GTX1080")
+        )
+        assert spec_fingerprint(K20C) == spec_fingerprint(K20C)
+
+    def test_pipeline_fingerprint_stable(self):
+        assert pipeline_fingerprint(toy_pipeline()) == pipeline_fingerprint(
+            toy_pipeline()
+        )
+
+    def test_trace_fingerprint_tracks_workload(self):
+        pipe = toy_pipeline()
+        _, trace_a = profile_pipeline(pipe, K20C, {"doubler": [1, 2]})
+        _, trace_b = profile_pipeline(pipe, K20C, {"doubler": [1, 2]})
+        _, trace_c = profile_pipeline(pipe, K20C, {"doubler": [1, 2, 3]})
+        assert trace_fingerprint(trace_a) == trace_fingerprint(trace_b)
+        assert trace_fingerprint(trace_a) != trace_fingerprint(trace_c)

@@ -1,0 +1,166 @@
+"""Parallel sharded search: determinism, events, dominance soundness."""
+
+import math
+
+import pytest
+
+from repro.core.tuner.offline import OfflineTuner, TunerOptions
+from repro.core.tuner.pool import default_workers, stride_shards
+from repro.core.tuner.profiler import profile_pipeline
+from repro.core.tuner.space import throughput_bound_cycles
+from repro.gpu.specs import K20C
+from repro.obs.events import EventBus, TunerEvaluation, TunerSearchCompleted
+
+from .conftest import toy_pipeline
+
+
+class TestStrideShards:
+    def test_empty(self):
+        assert stride_shards([], 4) == []
+
+    def test_single_worker_is_identity(self):
+        items = list(range(7))
+        assert stride_shards(items, 1) == [items]
+
+    def test_round_robin_decomposition(self):
+        items = list(range(10))
+        shards = stride_shards(items, 3)
+        assert shards == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+        assert sorted(x for shard in shards for x in shard) == items
+
+    def test_more_workers_than_items(self):
+        shards = stride_shards([1, 2], 8)
+        assert shards == [[1], [2]]
+
+    def test_all_shards_nonempty(self):
+        for n in range(1, 12):
+            for workers in range(1, 6):
+                shards = stride_shards(list(range(n)), workers)
+                assert all(shards)
+                assert len(shards) <= workers
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            stride_shards([1], 0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+def _make_tuner(workers, budget=40, bus=None, dominance=True):
+    pipe = toy_pipeline()
+    initial = {"doubler": list(range(1, 200))}
+    profile, trace = profile_pipeline(pipe, K20C, initial)
+    return OfflineTuner(
+        pipe,
+        K20C,
+        trace,
+        profile=profile,
+        options=TunerOptions(
+            max_configs=budget, workers=workers, dominance_pruning=dominance
+        ),
+        bus=bus,
+    )
+
+
+class TestWorkerInvariance:
+    def test_best_identical_across_worker_counts(self):
+        seq = _make_tuner(workers=1).tune()
+        par = _make_tuner(workers=4).tune()
+        assert seq.best_config == par.best_config
+        assert seq.best_time_ms == par.best_time_ms
+
+    def test_evaluated_ordering_identical(self):
+        seq = _make_tuner(workers=1).tune()
+        par = _make_tuner(workers=4).tune()
+        assert seq.num_evaluated == par.num_evaluated
+        assert [e.config.describe() for e in seq.evaluated] == [
+            e.config.describe() for e in par.evaluated
+        ]
+        # Merged records must come back in canonical enumeration order.
+        assert [e.index for e in par.evaluated] == list(
+            range(par.num_evaluated)
+        )
+
+    def test_workers_recorded_on_report(self):
+        report = _make_tuner(workers=4).tune()
+        assert 1 <= report.workers <= 4
+
+    def test_completed_times_agree_where_both_finished(self):
+        """A config that completes under both worker counts must get the
+        exact same simulated time (replay is deterministic)."""
+        seq = _make_tuner(workers=1).tune()
+        par = _make_tuner(workers=3).tune()
+        for a, b in zip(seq.evaluated, par.evaluated):
+            if math.isfinite(a.time_ms) and math.isfinite(b.time_ms):
+                assert a.time_ms == b.time_ms
+
+
+class TestTunerEvents:
+    def test_events_emitted_on_bus(self):
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append)
+        report = _make_tuner(workers=2, bus=bus).tune()
+        evals = [e for e in events if isinstance(e, TunerEvaluation)]
+        done = [e for e in events if isinstance(e, TunerSearchCompleted)]
+        assert len(evals) == report.num_evaluated
+        assert len(done) == 1
+        assert done[0].evaluated == report.num_evaluated
+        assert done[0].completed == report.num_completed
+        assert done[0].best_time_ms == report.best_time_ms
+        assert done[0].workers == report.workers
+
+    def test_no_bus_no_crash(self):
+        report = _make_tuner(workers=1, bus=None).tune()
+        assert math.isfinite(report.best_time_ms)
+
+
+class TestDominanceSoundness:
+    def test_bound_never_exceeds_replayed_time(self):
+        """The throughput bound must lower-bound the true replay on every
+        candidate (checked exhaustively on a small space) — otherwise the
+        dominance cut could discard the optimum."""
+        tuner = _make_tuner(workers=1, budget=25)
+        checked = 0
+        for config in tuner.candidates():
+            bound = throughput_bound_cycles(
+                tuner.pipeline, tuner.spec, tuner.profile, config
+            )
+            time_ms = tuner.evaluate(config)  # no deadline: true time
+            elapsed_cycles = time_ms * tuner.spec.clock_ghz * 1e6
+            assert bound <= elapsed_cycles, config.describe()
+            checked += 1
+        assert checked == 25
+
+    def test_dominance_preserves_best(self):
+        """Enabling the cut must not change the chosen plan or its time."""
+        with_cut = _make_tuner(workers=1, dominance=True).tune()
+        without = _make_tuner(workers=1, dominance=False).tune()
+        assert with_cut.best_config == without.best_config
+        assert with_cut.best_time_ms == without.best_time_ms
+
+    def test_dominated_counted_separately_from_timeout(self):
+        report = _make_tuner(workers=1).tune()
+        assert report.num_dominated + report.num_timeout + \
+            report.num_invalid + report.num_completed == report.num_evaluated
+
+    def test_dominance_fires_on_real_workload(self):
+        """On the Reyes pipeline (heterogeneous per-stage work) the bound
+        actually prunes candidates, and still returns the same plan."""
+        from repro.harness.runner import tune_workload
+        from repro.workloads import reyes
+
+        params = reyes.ReyesParams(num_base_patches=16, split_threshold=48.0)
+        opts = dict(max_configs=80, include_kbk_groups=False, workers=1)
+        cut = tune_workload(
+            "reyes", K20C, params,
+            options=TunerOptions(dominance_pruning=True, **opts),
+        ).report
+        plain = tune_workload(
+            "reyes", K20C, params,
+            options=TunerOptions(dominance_pruning=False, **opts),
+        ).report
+        assert cut.best_config == plain.best_config
+        assert cut.best_time_ms == plain.best_time_ms
+        assert cut.num_dominated > 0

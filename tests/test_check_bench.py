@@ -1,0 +1,142 @@
+"""The CI benchmark regression gate (scripts/check_bench.py)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "check_bench.py",
+)
+
+spec = importlib.util.spec_from_file_location("check_bench", _SCRIPT)
+check_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_bench)
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+BASELINE = {
+    "workloads": {
+        "reyes": {"best_time_ms": 1.0, "num_evaluated": 80},
+        "ldpc": {"best_time_ms": 4.0, "wall_s_workers1": 2.5},
+    }
+}
+
+
+class TestIterMetrics:
+    def test_only_ms_leaves(self):
+        metrics = dict(check_bench.iter_metrics(BASELINE))
+        assert metrics == {
+            "workloads.reyes.best_time_ms": 1.0,
+            "workloads.ldpc.best_time_ms": 4.0,
+        }
+
+    def test_lists_and_bools_handled(self):
+        node = {"runs": [{"t_ms": 2.0}, {"t_ms": 3.0}], "ok_ms": True}
+        metrics = dict(check_bench.iter_metrics(node))
+        assert metrics == {"runs[0].t_ms": 2.0, "runs[1].t_ms": 3.0}
+
+    def test_non_finite_skipped(self):
+        assert dict(check_bench.iter_metrics({"x_ms": float("inf")})) == {}
+
+
+class TestGate:
+    def test_identical_passes(self, tmp_path):
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", BASELINE)
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 0
+
+    def test_small_regression_within_budget(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["workloads"]["reyes"]["best_time_ms"] = 1.05
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 0
+
+    def test_large_regression_fails(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["workloads"]["reyes"]["best_time_ms"] = 1.3
+        current["workloads"]["ldpc"]["best_time_ms"] = 5.2
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 1
+
+    def test_threshold_flag_loosens_budget(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["workloads"]["reyes"]["best_time_ms"] = 1.3
+        current["workloads"]["ldpc"]["best_time_ms"] = 5.2
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur, "--threshold", "0.5"]
+        )
+        assert code == 0
+
+    def test_geomean_not_worst_case(self, tmp_path):
+        """One slow metric inside an otherwise-flat set must not trip the
+        geomean gate (that is the point of using a geomean)."""
+        current = json.loads(json.dumps(BASELINE))
+        current["workloads"]["reyes"]["best_time_ms"] = 1.15
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 0
+
+    def test_speedup_passes(self, tmp_path):
+        current = json.loads(json.dumps(BASELINE))
+        current["workloads"]["reyes"]["best_time_ms"] = 0.5
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 0
+
+    def test_missing_metric_noted_not_fatal(self, tmp_path, capsys):
+        current = json.loads(json.dumps(BASELINE))
+        del current["workloads"]["ldpc"]
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", current)
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 0
+        out = capsys.readouterr().out
+        assert "absent" in out
+
+    def test_no_shared_metrics_fails(self, tmp_path):
+        base = _write(tmp_path, "base.json", {"a_ms": 1.0})
+        cur = _write(tmp_path, "cur.json", {"b_ms": 1.0})
+        assert check_bench.main(["--baseline", base, "--current", cur]) == 1
+
+    def test_unreadable_input_is_exit_2(self, tmp_path):
+        cur = _write(tmp_path, "cur.json", BASELINE)
+        code = check_bench.main(
+            ["--baseline", str(tmp_path / "missing.json"), "--current", cur]
+        )
+        assert code == 2
+
+    def test_malformed_json_is_exit_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        cur = _write(tmp_path, "cur.json", BASELINE)
+        code = check_bench.main(
+            ["--baseline", str(bad), "--current", cur]
+        )
+        assert code == 2
+
+
+class TestRealBaselines:
+    """The committed baselines must always self-compare clean."""
+
+    @pytest.mark.parametrize(
+        "name", ["BENCH_fig11.json", "BENCH_tuner.json"]
+    )
+    def test_baseline_self_compare(self, name):
+        path = os.path.join(
+            os.path.dirname(_SCRIPT), "..", "benchmarks", "baselines", name
+        )
+        assert check_bench.main(
+            ["--baseline", path, "--current", path]
+        ) == 0

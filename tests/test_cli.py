@@ -133,6 +133,44 @@ class TestTune:
         assert "profiled" in out
         assert "best" in out
 
+    def test_tune_workers_and_cache_warm_rerun(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "tuner-cache")
+        argv = (
+            "tune", "ldpc", "--budget", "12",
+            "--workers", "2", "--cache-dir", cache_dir,
+        )
+        code, cold = run_cli(capsys, *argv)
+        assert code == 0
+        assert "cache: 0 hits" in cold
+        assert "2 workers" in cold
+
+        code, warm = run_cli(capsys, *argv)
+        assert code == 0
+        assert "/ 0 misses" in warm
+        assert "cache: 0 hits" not in warm  # the rerun must hit
+
+    def test_tune_report_json(self, capsys, tmp_path):
+        path = tmp_path / "tuner.json"
+        code, out = run_cli(
+            capsys, "tune", "ldpc", "--budget", "12",
+            "--workers", "1", "--report-json", str(path),
+        )
+        assert code == 0
+        assert f"wrote report: {path}" in out
+        payload = json.loads(path.read_text())
+        assert payload["label"] == "ldpc/K20c"
+        assert payload["evaluated"] == 12
+        assert payload["completed"] + payload["pruned"] == 12
+        assert payload["best_time_ms"] > 0
+        assert payload["best_config"]
+
+    def test_tune_no_dominance_flag(self, capsys):
+        code, out = run_cli(
+            capsys, "tune", "ldpc", "--budget", "12", "--no-dominance"
+        )
+        assert code == 0
+        assert "0 dominated" in out
+
 
 class TestTimeline:
     def test_timeline_renders_gantt(self, capsys):
