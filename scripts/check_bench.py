@@ -5,7 +5,9 @@ Compares a freshly generated ``BENCH_*.json`` against the committed
 baseline and fails when throughput regresses beyond a threshold.
 
 Both files are arbitrary nested JSON; every numeric leaf whose key ends
-in ``_ms`` is treated as a *lower-is-better* timing metric.  The gate
+in ``_ms`` (a timing) or ``_cost`` (a machine-normalised overhead ratio,
+e.g. the simulator speed gate's ``event_cost``) is treated as a
+*lower-is-better* metric.  The gate
 statistic is the geometric mean of the per-metric ``current/baseline``
 ratios over the metrics present in both files — a geomean above
 ``1 + threshold`` means throughput dropped by more than the allowed
@@ -31,8 +33,10 @@ import math
 import sys
 from typing import Iterator
 
-#: Keys ending in one of these are timing metrics (lower is better).
-METRIC_SUFFIXES = ("_ms",)
+#: Keys ending in one of these are gated metrics (lower is better):
+#: ``_ms`` for timings, ``_cost`` for dimensionless normalised overheads
+#: (insensitive to how fast the CI host happens to be).
+METRIC_SUFFIXES = ("_ms", "_cost")
 
 
 def iter_metrics(node, path: str = "") -> Iterator[tuple[str, float]]:
@@ -89,7 +93,7 @@ def compare(
         if ratio > 1.0 + threshold:
             flag = "  <-- slower than budget"
         lines.append(
-            f"  {key}: {baseline[key]:.4f} -> {current[key]:.4f} ms "
+            f"  {key}: {baseline[key]:.4f} -> {current[key]:.4f} "
             f"({ratio:.3f}x){flag}"
         )
         if ratio > worst_ratio:

@@ -59,6 +59,11 @@ class PersistentGroupRunner:
         self.total_blocks = 0
         self._finished_blocks = 0
         self.on_all_blocks_exited = None  # online-tuner hook
+        #: Stages executed inline by RTC fusion (hoisted off the hot loop).
+        self._inline_set = frozenset(group.stages)
+        self._fused_kernel: Optional[KernelSpec] = None
+        #: kernel -> {stage name -> fetch batch capacity} (see _capacity).
+        self._capacity_maps: dict[KernelSpec, dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Launch plan.
@@ -67,6 +72,8 @@ class PersistentGroupRunner:
     SCHEDULER_CODE_BYTES = 1536
 
     def fused_kernel(self) -> KernelSpec:
+        if self._fused_kernel is not None:
+            return self._fused_kernel
         specs = [self.pipeline.stage(s).kernel_spec() for s in self.group.stages]
         prefix = "mk" if self.group.model == "megakernel" else "rtc"
         fused = fuse_specs(specs, name=f"{prefix}:{'+'.join(self.group.stages)}")
@@ -91,6 +98,7 @@ class PersistentGroupRunner:
                 shared_mem_per_block=fused.shared_mem_per_block,
                 code_bytes=fused.code_bytes,
             )
+        self._fused_kernel = fused
         return fused
 
     def launch(self) -> None:
@@ -183,11 +191,21 @@ class PersistentGroupRunner:
     # The persistent block program.
     # ------------------------------------------------------------------
     def _capacity(self, kernel: KernelSpec):
-        def capacity(stage_name: str) -> int:
-            stage = self.pipeline.stage(stage_name)
-            return max(1, kernel.threads_per_block // stage.threads_per_item)
+        """Fetch batch capacity per stage, precomputed once per kernel.
 
-        return capacity
+        Returns the mapping's ``__getitem__`` so the scheduler's per-fetch
+        ``capacity_fn(stage)`` call is a plain dict lookup instead of a
+        pipeline lookup plus a division.
+        """
+        caps = self._capacity_maps.get(kernel)
+        if caps is None:
+            threads = kernel.threads_per_block
+            caps = {
+                name: max(1, threads // stage.threads_per_item)
+                for name, stage in self.pipeline.stages.items()
+            }
+            self._capacity_maps[kernel] = caps
+        return caps.__getitem__
 
     def _program(
         self,
@@ -196,26 +214,42 @@ class PersistentGroupRunner:
         watch: tuple[str, ...],
         inline: bool,
     ):
+        # Hot loop: everything loop-invariant is bound to locals up front,
+        # and the locality adjustment is inlined (it must keep the exact
+        # float expression of :func:`locality_adjusted` — the golden tests
+        # pin bit-identical schedules).
         ctx = self.ctx
-        spec = self.device.spec
+        device = self.device
+        l1_bonus = device.spec.l1_locality_bonus
         capacity = self._capacity(kernel)
-        inline_set = frozenset(self.group.stages)
-        while True:
-            fetched = yield Wait(
-                lambda resume: ctx.fetch_async(
-                    watch,
-                    capacity,
-                    resume,
-                    waiter_key=block.block_id,
-                    sm_id=block.sm.sm_id,
-                )
+        inline_set = self._inline_set
+        stages_map = self.pipeline.stages
+        threads_per_block = kernel.threads_per_block
+        run_inline = ctx.executor.run_inline
+        run_task = ctx.executor.run_task
+        block_id = block.block_id
+        fetch = ctx.fetch_async
+        # One reusable fetch command: Wait is immutable and ``register`` is
+        # invoked afresh on every yield, so a single instance serves the
+        # whole persistent loop.
+        fetch_wait = Wait(
+            lambda resume: fetch(
+                watch,
+                capacity,
+                resume,
+                waiter_key=block_id,
+                sm_id=block.sm.sm_id,
             )
+        )
+        while True:
+            fetched = yield fetch_wait
             if fetched is None:
                 break  # quiescent: the persistent loop's exit condition
             stage_name, qitems, fetch_cost = fetched
             yield Delay(fetch_cost)
             sm_id = block.sm.sm_id
-            stage = self.pipeline.stage(stage_name)
+            stage = stages_map[stage_name]
+            fetch_tpi = stage.threads_per_item
 
             work = 0.0
             min_cycles = 0.0
@@ -227,44 +261,48 @@ class PersistentGroupRunner:
 
             if inline:
                 for qitem in qitems:
-                    result = ctx.executor.run_inline(
-                        stage_name, qitem.payload, inline_set
-                    )
+                    result = run_inline(stage_name, qitem.payload, inline_set)
+                    producer_sm = qitem.producer_sm
+                    local = producer_sm is not None and producer_sm == sm_id
                     for task in result.tasks:
-                        tstage = self.pipeline.stage(task.stage)
-                        cycles = locality_adjusted(
-                            task.cost, qitem.producer_sm, sm_id, spec.l1_locality_bonus
+                        tname = task.stage
+                        cost = task.cost
+                        cycles = cost.cycles_per_thread
+                        if local:
+                            cycles *= 1.0 - cost.mem_fraction * l1_bonus
+                        work += cycles * stages_map[tname].threads_per_item
+                        per_stage_tasks[tname] = (
+                            per_stage_tasks.get(tname, 0) + 1
                         )
-                        work += cycles * tstage.threads_per_item
-                        per_stage_tasks[task.stage] = (
-                            per_stage_tasks.get(task.stage, 0) + 1
-                        )
-                        per_stage_cycles[task.stage] = (
-                            per_stage_cycles.get(task.stage, 0.0) + cycles
+                        per_stage_cycles[tname] = (
+                            per_stage_cycles.get(tname, 0.0) + cycles
                         )
                     min_cycles = max(min_cycles, result.chain_floor_cycles)
-                    active_threads += stage.threads_per_item
+                    active_threads += fetch_tpi
                     children.extend(result.children)
                     outputs.extend(result.outputs)
             else:
+                n_tasks = 0
+                stage_cycles = 0.0
                 for qitem in qitems:
-                    result = ctx.executor.run_task(stage_name, qitem.payload)
-                    cycles = locality_adjusted(
-                        result.cost, qitem.producer_sm, sm_id, spec.l1_locality_bonus
-                    )
-                    work += cycles * stage.threads_per_item
-                    min_cycles = max(min_cycles, cycles, result.cost.min_cycles)
-                    active_threads += stage.threads_per_item
+                    result = run_task(stage_name, qitem.payload)
+                    cost = result.cost
+                    cycles = cost.cycles_per_thread
+                    producer_sm = qitem.producer_sm
+                    if producer_sm is not None and producer_sm == sm_id:
+                        cycles *= 1.0 - cost.mem_fraction * l1_bonus
+                    work += cycles * fetch_tpi
+                    min_cycles = max(min_cycles, cycles, cost.min_cycles)
+                    active_threads += fetch_tpi
                     children.extend(result.children)
                     outputs.extend(result.outputs)
-                    per_stage_tasks[stage_name] = (
-                        per_stage_tasks.get(stage_name, 0) + 1
-                    )
-                    per_stage_cycles[stage_name] = (
-                        per_stage_cycles.get(stage_name, 0.0) + cycles
-                    )
+                    n_tasks += 1
+                    stage_cycles += cycles
+                if n_tasks:
+                    per_stage_tasks[stage_name] = n_tasks
+                    per_stage_cycles[stage_name] = stage_cycles
 
-            active_threads = min(active_threads, kernel.threads_per_block)
+            active_threads = min(active_threads, threads_per_block)
             if work > 0:
                 yield Compute(
                     cycles_per_thread=work / active_threads,
@@ -279,7 +317,7 @@ class PersistentGroupRunner:
             for tstage, count in per_stage_tasks.items():
                 ctx.note_stage_work(tstage, count, per_stage_cycles[tstage])
             ctx.complete_tasks(stage_name, len(qitems))
-            self.device.note_residency()
+            device.note_residency()
         self._finished_blocks += 1
         if self._finished_blocks == self.total_blocks:
             if self.device.obs is not None:

@@ -116,12 +116,23 @@ class Executor:
 class FunctionalExecutor(Executor):
     """Runs the real stage code on raw payloads."""
 
+    def __init__(self, pipeline: Pipeline) -> None:
+        super().__init__(pipeline)
+        # run_task is called once per simulated task: pre-resolve the
+        # stage objects and their emit sets so the hot path does no
+        # pipeline lookups and builds no frozensets.
+        self._stages = dict(pipeline.stages)
+        self._emit_sets = {
+            name: frozenset(stage.emits_to)
+            for name, stage in self._stages.items()
+        }
+
     def wrap_initial(self, stage: str, payload: object) -> object:
         return payload
 
     def run_task(self, stage: str, item: object) -> ExecResult:
-        stage_obj = self.pipeline.stage(stage)
-        ctx = EmitContext(stage_obj.emits_to)
+        stage_obj = self._stages[stage]
+        ctx = EmitContext(self._emit_sets[stage])
         stage_obj.execute(item, ctx)
         cost = stage_obj.cost(item)
         if not isinstance(cost, TaskCost):

@@ -94,8 +94,22 @@ class SharedQueueSet(_QueueSetBase):
             for name, item_bytes in stages.items()
         }
         #: Approximate concurrent accessors per SM; set by the engine.
-        self.contention_level = 0.0
+        self._contention_level = 0.0
+        #: stage -> single-item push cost at the current contention level.
+        #: Pushes dominate queue traffic (one per emitted child), so the
+        #: per-push cost-model evaluation collapses to one dict lookup.
+        self._push_costs: dict[str, float] = {}
         self.steals = 0  # always zero for the shared organisation
+
+    @property
+    def contention_level(self) -> float:
+        return self._contention_level
+
+    @contention_level.setter
+    def contention_level(self, value: float) -> None:
+        if value != self._contention_level:
+            self._contention_level = value
+            self._push_costs.clear()
 
     def push(
         self,
@@ -103,16 +117,18 @@ class SharedQueueSet(_QueueSetBase):
         payload: object,
         producer_sm: Optional[int],
     ) -> float:
-        self._queues[stage].push(payload, producer_sm)
+        queue = self._queues[stage]
+        queue.push(payload, producer_sm)
         depth = self.depth.push(stage)
         if self.bus is not None:
             self._emit_push(stage, SHARED_SHARD, depth)
-        return queue_op_cost(
-            self.spec,
-            self._queues[stage].item_bytes,
-            1,
-            self.contention_level,
-        )
+        cost = self._push_costs.get(stage)
+        if cost is None:
+            cost = queue_op_cost(
+                self.spec, queue.item_bytes, 1, self._contention_level
+            )
+            self._push_costs[stage] = cost
+        return cost
 
     def pop(
         self, stage: str, max_items: int, sm_id: Optional[int]
@@ -126,7 +142,7 @@ class SharedQueueSet(_QueueSetBase):
                     stage, SHARED_SHARD, len(batch), depth, stolen=False
                 )
         cost = queue_op_cost(
-            self.spec, queue.item_bytes, len(batch), self.contention_level
+            self.spec, queue.item_bytes, len(batch), self._contention_level
         )
         return batch, cost
 

@@ -39,6 +39,26 @@ from .queueset import make_queue_set
 POLICIES = ("deepest_first", "fifo", "round_robin")
 
 
+class _WatchState:
+    """Incremental quiescence counter for one watched stage set.
+
+    ``upstream`` is the frozen set of stages whose outstanding work can
+    still reach any watched stage (per the pipeline reachability
+    closure); ``outstanding`` is the live sum of those stages'
+    outstanding counts, maintained by ``_enqueue_one`` /
+    ``complete_tasks``.  The watched set is quiescent exactly when the
+    sum is zero, turning every ``is_quiescent`` call — the hottest
+    function of a simulated run, previously a full reachability scan per
+    completed task per waiter — into a single integer comparison.
+    """
+
+    __slots__ = ("upstream", "outstanding")
+
+    def __init__(self, upstream: frozenset[str], outstanding: int) -> None:
+        self.upstream = upstream
+        self.outstanding = outstanding
+
+
 @dataclass
 class _Waiter:
     """A parked persistent block waiting for work on a set of stages."""
@@ -100,6 +120,18 @@ class RunContext:
         }
         #: Depth of each stage in definition order, for deepest_first.
         self._depth = {name: i for i, name in enumerate(pipeline.stages)}
+        #: Watched-stage-tuple -> incremental quiescence counter.
+        self._watch_states: dict[tuple[str, ...], _WatchState] = {}
+        #: Source stage -> watch states whose upstream set contains it.
+        self._stage_watchers: dict[str, list[_WatchState]] = {
+            name: [] for name in pipeline.stages
+        }
+        #: Stage-tuple -> policy-ordered stage preference (memoised).
+        self._order_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
+        #: Stage name -> item bytes (hoisted off the per-batch push path).
+        self._item_bytes = {
+            name: stage.item_bytes for name, stage in pipeline.stages.items()
+        }
         self._waiters: deque[_Waiter] = deque()
         self._peek_waiters: list[tuple[tuple[str, ...], Callable]] = []
         self._rr_cursor: dict[int, int] = {}
@@ -140,18 +172,26 @@ class RunContext:
         self.queue_set.push(stage, item, producer_sm)
         self.outstanding[stage] += 1
         self.total_outstanding += 1
+        for watch in self._stage_watchers[stage]:
+            watch.outstanding += 1
 
     def enqueue_children(
         self, children: Iterable[tuple[str, object]], producer_sm: Optional[int]
     ) -> None:
-        """Push emitted items and wake any block that can serve them."""
-        touched: list[str] = []
+        """Push emitted items and wake any block that can serve them.
+
+        ``_wake_for`` drains every waiter a stage can satisfy in one
+        call, so each distinct target is woken once per batch (repeat
+        calls for the same stage would re-scan the waiter list and find
+        nothing — resumes are deferred, no waiter re-parks in between).
+        """
+        touched: dict[str, None] = {}
         for target, item in children:
             self._enqueue_one(target, item, producer_sm)
-            touched.append(target)
+            touched[target] = None
         for target in touched:
             self._wake_for(target)
-        self._notify_peek_waiters(touched)
+        self._notify_peek_waiters(tuple(touched))
 
     def _notify_peek_waiters(self, touched: Sequence[str]) -> None:
         if not self._peek_waiters:
@@ -178,6 +218,8 @@ class RunContext:
             )
         self.outstanding[stage] -= n_items
         self.total_outstanding -= n_items
+        for watch in self._stage_watchers[stage]:
+            watch.outstanding -= n_items
         self._check_quiescence()
 
     def note_stage_work(self, stage: str, tasks: int, busy_cycles: float) -> None:
@@ -198,24 +240,59 @@ class RunContext:
     # Quiescence.
     # ------------------------------------------------------------------
     def is_quiescent(self, stages: Iterable[str]) -> bool:
-        """True when no outstanding work can ever reach any of ``stages``."""
+        """True when no outstanding work can ever reach any of ``stages``.
+
+        O(1) after the first call per watched set: a :class:`_WatchState`
+        keeps the outstanding total of the set's upstream stages current
+        (see its docstring), so this reduces to a counter test instead of
+        re-running the reachability closure against every stage.
+        """
         targets = tuple(stages)
-        for source, count in self.outstanding.items():
-            if count > 0 and self.pipeline.can_reach(source, targets):
-                return False
-        return True
+        watch = self._watch_states.get(targets)
+        if watch is None:
+            watch = self._make_watch_state(targets)
+        return watch.outstanding == 0
+
+    def _make_watch_state(self, targets: tuple[str, ...]) -> _WatchState:
+        can_reach = self.pipeline.can_reach
+        upstream = frozenset(
+            source for source in self.pipeline.stages
+            if can_reach(source, targets)
+        )
+        watch = _WatchState(
+            upstream,
+            sum(self.outstanding[source] for source in upstream),
+        )
+        self._watch_states[targets] = watch
+        for source in upstream:
+            self._stage_watchers[source].append(watch)
+        return watch
 
     def _check_quiescence(self) -> None:
-        """Release waiters whose watched stages can receive no more work."""
+        """Release waiters whose watched stages can receive no more work.
+
+        Many parked blocks watch the same stage tuple, so the quiescence
+        verdict is computed once per distinct tuple per check; nothing
+        else in the loop mutates the counters it depends on (resumes are
+        deferred through the event engine).
+        """
         released = False
-        for waiter in list(self._waiters):
-            if waiter.cancelled:
-                continue
-            if self.is_quiescent(waiter.stages):
-                waiter.cancelled = True
-                released = True
-                resume = waiter.resume
-                self.device.engine.schedule(0.0, lambda r=resume: r(None))
+        if self._waiters:
+            verdicts: dict[tuple[str, ...], bool] = {}
+            schedule = self.device.engine.schedule
+            for waiter in self._waiters:
+                if waiter.cancelled:
+                    continue
+                stages = waiter.stages
+                quiet = verdicts.get(stages)
+                if quiet is None:
+                    quiet = self.is_quiescent(stages)
+                    verdicts[stages] = quiet
+                if quiet:
+                    waiter.cancelled = True
+                    released = True
+                    resume = waiter.resume
+                    schedule(0.0, lambda r=resume: r(None))
         if self._peek_waiters:
             remaining = []
             for stages, callback in self._peek_waiters:
@@ -228,7 +305,8 @@ class RunContext:
         if released or self.done:
             for listener in self.quiescence_listeners:
                 listener()
-        self._waiters = deque(w for w in self._waiters if not w.cancelled)
+        if released:
+            self._waiters = deque(w for w in self._waiters if not w.cancelled)
 
     # ------------------------------------------------------------------
     # Fetching (the task scheduler).
@@ -236,19 +314,33 @@ class RunContext:
     def _pick_queue(
         self, stages: tuple[str, ...], waiter_key: int
     ) -> Optional[str]:
-        candidates = [s for s in stages if self.queue_set.has_work(s)]
-        if not candidates:
+        has_work = self.queue_set.has_work
+        if self.policy == "round_robin":
+            # round_robin: rotate a per-block cursor over the watched stages.
+            cursor = self._rr_cursor.get(waiter_key, 0)
+            ordered = (
+                stages[cursor % len(stages):] + stages[: cursor % len(stages)]
+            )
+            self._rr_cursor[waiter_key] = cursor + 1
+            for s in ordered:
+                if has_work(s):
+                    return s
             return None
-        if self.policy == "deepest_first":
-            return max(candidates, key=lambda s: self._depth[s])
-        if self.policy == "fifo":
-            return min(candidates, key=lambda s: self._depth[s])
-        # round_robin: rotate a per-block cursor over the watched stages.
-        cursor = self._rr_cursor.get(waiter_key, 0)
-        ordered = stages[cursor % len(stages):] + stages[: cursor % len(stages)]
-        self._rr_cursor[waiter_key] = cursor + 1
-        for s in ordered:
-            if self.queue_set.has_work(s):
+        # deepest_first / fifo reduce to a fixed preference order per
+        # watched tuple (stage depths are unique), memoised across calls.
+        preference = self._order_cache.get(stages)
+        if preference is None:
+            depth = self._depth
+            preference = tuple(
+                sorted(
+                    stages,
+                    key=depth.__getitem__,
+                    reverse=self.policy == "deepest_first",
+                )
+            )
+            self._order_cache[stages] = preference
+        for s in preference:
+            if has_work(s):
                 return s
         return None
 
@@ -351,13 +443,10 @@ class RunContext:
         by_target: dict[str, int] = {}
         for target, _item in children:
             by_target[target] = by_target.get(target, 0) + 1
+        spec = self.device.spec
+        item_bytes = self._item_bytes
         return sum(
-            queue_op_cost(
-                self.device.spec,
-                self.pipeline.stage(target).item_bytes,
-                count,
-                contention,
-            )
+            queue_op_cost(spec, item_bytes[target], count, contention)
             for target, count in by_target.items()
         )
 

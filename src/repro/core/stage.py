@@ -69,7 +69,10 @@ class EmitContext:
     __slots__ = ("_allowed", "children", "outputs")
 
     def __init__(self, allowed: Iterable[str]) -> None:
-        self._allowed = frozenset(allowed)
+        # Callers on the hot path pass a pre-built frozenset; reuse it.
+        self._allowed = (
+            allowed if isinstance(allowed, frozenset) else frozenset(allowed)
+        )
         self.children: list[tuple[str, object]] = []
         self.outputs: list[object] = []
 

@@ -16,9 +16,13 @@ which drains it at a rate set by the SM's processor-sharing model (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from .kernel import KernelSpec
+
+if TYPE_CHECKING:
+    from .scheduler import KernelLaunch
+    from .sm import StreamingMultiprocessor
 
 
 @dataclass(frozen=True)
@@ -76,8 +80,8 @@ class ThreadBlock:
         self.tag = tag
         self._program_factory = program_factory
         self._program: BlockProgram | None = None
-        self.sm = None  # set by the SM on admission
-        self.launch = None  # set by the device on launch
+        self.sm: Optional[StreamingMultiprocessor] = None  # set on admission
+        self.launch: Optional[KernelLaunch] = None  # set by the device on launch
         self.finished = False
         self.start_cycle: float | None = None
         self.finish_cycle: float | None = None
@@ -105,7 +109,9 @@ class ThreadBlock:
         self._dispatch(command)
 
     def _dispatch(self, command: object) -> None:
-        engine = self.sm.engine
+        sm = self.sm
+        assert sm is not None
+        engine = sm.engine
         if isinstance(command, Compute):
             threads = command.threads if command.threads is not None else self.threads
             if threads <= 0:
@@ -113,7 +119,7 @@ class ThreadBlock:
             threads = min(threads, self.threads)
             self._compute_started_at = engine.now
             self._pending_min_cycles = command.min_cycles
-            self.sm.add_work(
+            sm.add_work(
                 self,
                 work=command.cycles_per_thread * threads,
                 threads=threads,
@@ -128,6 +134,7 @@ class ThreadBlock:
 
     def _compute_done(self) -> None:
         """Work drained; honour the min-duration constraint then resume."""
+        assert self.sm is not None and self._compute_started_at is not None
         engine = self.sm.engine
         elapsed = engine.now - self._compute_started_at
         remainder = self._pending_min_cycles - elapsed
@@ -137,8 +144,9 @@ class ThreadBlock:
             self._advance(None)
 
     def _finish(self) -> None:
-        self.finished = True
-        self.finish_cycle = self.sm.engine.now
         sm = self.sm
+        assert sm is not None
+        self.finished = True
+        self.finish_cycle = sm.engine.now
         self._program = None
         sm.retire(self)

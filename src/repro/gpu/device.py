@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from ..obs.events import HostSync, KernelLaunched, Memcpy
+from ..obs.events import EventBus, HostSync, KernelLaunched, Memcpy
 from .block import BlockProgram, ThreadBlock
 from .engine import Engine
 from .kernel import KernelSpec
@@ -51,7 +51,7 @@ class GPUDevice:
         #: Optional telemetry bus (see :meth:`attach_observer`).  Every
         #: emitter guards on ``None`` so no event objects are allocated
         #: unless an observer subscribed — tracing is zero-cost when off.
-        self.obs = None
+        self.obs: Optional[EventBus] = None
 
     # ------------------------------------------------------------------
     # Streams and launches.
@@ -121,18 +121,18 @@ class GPUDevice:
     # Synchronisation.
     # ------------------------------------------------------------------
     def _all_done(self) -> bool:
-        return all(l.done for l in self._launches)
+        return all(launch.done for launch in self._launches)
 
     def synchronize(self, charge_host: bool = True) -> None:
         """Run the engine until every issued launch has completed."""
         self.engine.run(until=self._all_done)
         if not self._all_done():
-            pending = [l for l in self._launches if not l.done]
+            pending = [launch for launch in self._launches if not launch.done]
             raise SimulationDeadlock(
                 f"{len(pending)} launches incomplete with an empty event heap: "
                 + ", ".join(
-                    f"{l.kernel.name}({l._outstanding} blocks left)"
-                    for l in pending[:8]
+                    f"{launch.kernel.name}({launch._outstanding} blocks left)"
+                    for launch in pending[:8]
                 )
             )
         self.host_time = max(self.host_time, self.engine.now)
@@ -225,14 +225,14 @@ class GPUDevice:
         self.scheduler.obs = bus
 
     def resident_blocks(self) -> int:
-        return sum(len(sm.resident_blocks) for sm in self.sms)
+        return self.scheduler.resident_count
 
     def note_residency(self) -> None:
         """Update the peak-resident-blocks metric (models call this after
         dispatch points of interest)."""
-        self.metrics.peak_resident_blocks = max(
-            self.metrics.peak_resident_blocks, self.resident_blocks()
-        )
+        count = self.scheduler.resident_count
+        if count > self.metrics.peak_resident_blocks:
+            self.metrics.peak_resident_blocks = count
 
     def finalize_metrics(self) -> DeviceMetrics:
         """Close out per-SM counters and the elapsed clock."""

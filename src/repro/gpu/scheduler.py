@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
-from ..obs.events import KernelRetired
+from ..obs.events import EventBus, KernelRetired
 from .block import ThreadBlock
 from .kernel import KernelSpec
 from .sm import StreamingMultiprocessor
@@ -112,8 +112,11 @@ class HardwareScheduler:
         self.sms = list(sms)
         self._active: list[KernelLaunch] = []
         self._dispatching = False
+        #: Blocks currently resident across all SMs, maintained on
+        #: admit/retire so residency polls need no per-SM scan.
+        self.resident_count = 0
         #: Optional telemetry bus (set via GPUDevice.attach_observer).
-        self.obs = None
+        self.obs: Optional[EventBus] = None
         for sm in self.sms:
             sm.on_retire = self._on_block_retired
 
@@ -156,22 +159,27 @@ class HardwareScheduler:
                         if sm is None:
                             break
                         launch.pop_block()
+                        # Count before admit(): a block program that ends
+                        # immediately retires from inside the admit call.
+                        self.resident_count += 1
                         sm.admit(block)
                         progress = True
                 self._active = [
-                    l for l in self._active if l.next_block() is not None
+                    ln for ln in self._active if ln.next_block() is not None
                 ]
         finally:
             self._dispatching = False
 
     def _on_block_retired(self, block: ThreadBlock) -> None:
+        self.resident_count -= 1
         launch = block.launch
-        if launch is not None:
-            launch.block_retired(block.sm.engine.now)
+        sm = block.sm
+        if launch is not None and sm is not None:
+            launch.block_retired(sm.engine.now)
             if launch.done and self.obs is not None:
                 self.obs.emit(
                     KernelRetired(
-                        t=block.sm.engine.now,
+                        t=sm.engine.now,
                         launch_id=launch.launch_id,
                         kernel=launch.kernel.name,
                     )

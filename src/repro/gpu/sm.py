@@ -17,21 +17,52 @@ Each SM owns a register file, shared memory, thread and block-slot budgets
 The processor-sharing discipline requires rescaling in-flight work whenever
 block residency changes; ``_sync`` drains elapsed work and ``_reschedule``
 recomputes rates and the next completion event.
+
+Because admission checks run for every SM on every dispatch attempt and
+residency changes re-derive the latency-hiding factor, the SM keeps a
+small per-kernel memo (register/shared-memory footprints, warps per
+block, instruction-cache factor) and maintains resident-warp and
+active-thread totals incrementally instead of recomputing them from the
+resident/segment lists on every call.  The memo is keyed by the
+(immutable, value-hashed) :class:`KernelSpec` itself, so two equal specs
+share an entry and a recycled object identity can never alias stale
+values.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
-from ..obs.events import BlockAdmitted, BlockExited, ComputeSegment
+from ..obs.events import BlockAdmitted, BlockExited, ComputeSegment, EventBus
 from .block import ThreadBlock
-from .engine import CancelToken, Engine
+from .engine import Engine, Timer
 from .kernel import KernelSpec
 from .occupancy import registers_per_block, shared_mem_per_block
 from .specs import GPUSpec
 
+if TYPE_CHECKING:
+    from .tracing import Tracer
+
 _EPS = 1e-7
+
+
+class _KernelFootprint:
+    """Memoised per-SM derived values of one kernel spec."""
+
+    __slots__ = ("registers", "shared_mem", "threads", "warps", "code_factor")
+
+    def __init__(self, kernel: KernelSpec, spec: GPUSpec) -> None:
+        self.registers = registers_per_block(kernel, spec)
+        self.shared_mem = shared_mem_per_block(kernel, spec)
+        self.threads = kernel.threads_per_block
+        self.warps = math.ceil(kernel.threads_per_block / spec.warp_size)
+        over = kernel.code_bytes - spec.icache_bytes
+        if over <= 0:
+            self.code_factor = 1.0
+        else:
+            frac = min(1.0, over / spec.icache_bytes)
+            self.code_factor = 1.0 + spec.icache_penalty * frac
 
 
 class _Segment:
@@ -72,35 +103,43 @@ class StreamingMultiprocessor:
         self.resident_blocks: list[ThreadBlock] = []
         self._segments: dict[int, _Segment] = {}
         self._last_sync = 0.0
-        self._tick_token: Optional[CancelToken] = None
+        self._tick_timer: Timer = engine.timer(self._tick)
         self.on_retire: Optional[Callable[[ThreadBlock], None]] = None
         #: Optional execution tracer (set via GPUDevice.enable_tracing).
-        self.tracer = None
+        self.tracer: Optional[Tracer] = None
         #: Optional telemetry bus (set via GPUDevice.attach_observer).
         #: Every emission is guarded so nothing is allocated when unset.
-        self.obs = None
+        self.obs: Optional[EventBus] = None
+        #: Per-kernel derived-value memo (see module docstring).
+        self._footprints: dict[KernelSpec, _KernelFootprint] = {}
+        #: Incrementally maintained totals (admission / throughput).
+        self._resident_warps = 0
+        self._active_threads = 0
         # Metrics.
         self.busy_lane_cycles = 0.0
         self.blocks_admitted = 0
+
+    def _footprint(self, kernel: KernelSpec) -> _KernelFootprint:
+        fp = self._footprints.get(kernel)
+        if fp is None:
+            fp = _KernelFootprint(kernel, self.spec)
+            self._footprints[kernel] = fp
+        return fp
 
     # ------------------------------------------------------------------
     # Admission control (occupancy).
     # ------------------------------------------------------------------
     def can_admit(self, kernel: KernelSpec) -> bool:
         """Would a block of ``kernel`` fit given current residency?"""
-        if len(self.resident_blocks) >= self.spec.max_blocks_per_sm:
+        spec = self.spec
+        if len(self.resident_blocks) >= spec.max_blocks_per_sm:
             return False
-        if self.threads_used + kernel.threads_per_block > self.spec.max_threads_per_sm:
+        fp = self._footprint(kernel)
+        if self.threads_used + fp.threads > spec.max_threads_per_sm:
             return False
-        if (
-            self.registers_used + registers_per_block(kernel, self.spec)
-            > self.spec.registers_per_sm
-        ):
+        if self.registers_used + fp.registers > spec.registers_per_sm:
             return False
-        if (
-            self.shared_mem_used + shared_mem_per_block(kernel, self.spec)
-            > self.spec.shared_mem_per_sm
-        ):
+        if self.shared_mem_used + fp.shared_mem > spec.shared_mem_per_sm:
             return False
         return True
 
@@ -108,9 +147,11 @@ class StreamingMultiprocessor:
         """Allocate resources for ``block`` and start its program."""
         kernel = block.kernel
         assert self.can_admit(kernel), "admit() without capacity"
-        self.registers_used += registers_per_block(kernel, self.spec)
-        self.shared_mem_used += shared_mem_per_block(kernel, self.spec)
-        self.threads_used += kernel.threads_per_block
+        fp = self._footprint(kernel)
+        self.registers_used += fp.registers
+        self.shared_mem_used += fp.shared_mem
+        self.threads_used += fp.threads
+        self._resident_warps += fp.warps
         self.resident_blocks.append(block)
         self.blocks_admitted += 1
         block.sm = self
@@ -129,10 +170,12 @@ class StreamingMultiprocessor:
     def retire(self, block: ThreadBlock) -> None:
         """Free ``block``'s resources (called when its program ends)."""
         kernel = block.kernel
+        fp = self._footprint(kernel)
         self.resident_blocks.remove(block)
-        self.registers_used -= registers_per_block(kernel, self.spec)
-        self.shared_mem_used -= shared_mem_per_block(kernel, self.spec)
-        self.threads_used -= kernel.threads_per_block
+        self.registers_used -= fp.registers
+        self.shared_mem_used -= fp.shared_mem
+        self.threads_used -= fp.threads
+        self._resident_warps -= fp.warps
         if self.obs is not None:
             self.obs.emit(
                 BlockExited(
@@ -150,11 +193,7 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------
     def _code_factor(self, kernel: KernelSpec) -> float:
         """Instruction-cache slowdown for a kernel's code footprint."""
-        over = kernel.code_bytes - self.spec.icache_bytes
-        if over <= 0:
-            return 1.0
-        frac = min(1.0, over / self.spec.icache_bytes)
-        return 1.0 + self.spec.icache_penalty * frac
+        return self._footprint(kernel).code_factor
 
     def add_work(
         self,
@@ -175,14 +214,15 @@ class StreamingMultiprocessor:
             work,
             threads,
             on_done,
-            self._code_factor(block.kernel),
+            self._footprint(block.kernel).code_factor,
             self.engine.now,
         )
         self._segments[block.block_id] = seg
+        self._active_threads += threads
         self._reschedule()
 
     def active_threads(self) -> int:
-        return sum(seg.threads for seg in self._segments.values())
+        return self._active_threads
 
     def _utilization(self) -> float:
         """Latency-hiding factor from resident warps.
@@ -191,10 +231,7 @@ class StreamingMultiprocessor:
         idle persistent block busy-polls its work queue, so its warps still
         occupy scheduler slots and cover memory latency for the others.
         """
-        warps = sum(
-            math.ceil(block.kernel.threads_per_block / self.spec.warp_size)
-            for block in self.resident_blocks
-        )
+        warps = self._resident_warps
         if warps <= 0:
             return 0.0
         return min(1.0, warps / self.spec.warps_for_peak)
@@ -212,27 +249,32 @@ class StreamingMultiprocessor:
 
     def _reschedule(self) -> None:
         """Recompute segment rates and the next completion tick."""
-        if self._tick_token is not None:
-            self._tick_token.cancel()
-            self._tick_token = None
-        if not self._segments:
+        segments = self._segments
+        if not segments:
+            self._tick_timer.disarm()
             return
         lanes = self.spec.cores_per_sm * self._utilization()
-        total_threads = self.active_threads()
+        total_threads = self._active_threads
         horizon = math.inf
-        for seg in self._segments.values():
+        # NB: the share/rate expressions must stay byte-for-byte as in the
+        # original per-call form — float arithmetic is not associative, and
+        # any re-association would perturb event times and break the
+        # bit-identical-schedule guarantee pinned by the golden tests.
+        for seg in segments.values():
             share = lanes * (seg.threads / total_threads) if total_threads else 0.0
             rate = min(float(seg.threads), share) / seg.icache_factor
             seg.rate = rate
             if rate > 0:
-                horizon = min(horizon, seg.remaining / rate)
+                candidate = seg.remaining / rate
+                if candidate < horizon:
+                    horizon = candidate
         if math.isinf(horizon):
             raise RuntimeError("SM has compute segments but zero throughput")
         # Guarantee forward progress even when the horizon underflows.
-        self._tick_token = self.engine.schedule(max(horizon, 1e-9), self._tick)
+        self._tick_timer.arm(max(horizon, 1e-9))
 
     def _tick(self) -> None:
-        self._tick_token = None
+        self._tick_timer.fired()
         self._sync()
         # The completion threshold scales with the drain rate: floating-point
         # cancellation can leave a residue of remaining work smaller than one
@@ -242,20 +284,22 @@ class StreamingMultiprocessor:
             for seg in self._segments.values()
             if seg.remaining <= _EPS * max(1.0, seg.rate)
         ]
+        now = self.engine.now
         for seg in finished:
             del self._segments[seg.block.block_id]
+            self._active_threads -= seg.threads
             if self.tracer is not None:
                 self.tracer.record(
                     self.sm_id,
                     seg.block.kernel.name,
                     seg.started,
-                    self.engine.now,
+                    now,
                     seg.work,
                 )
-            if self.obs is not None and self.engine.now > seg.started:
-                    self.obs.emit(
+            if self.obs is not None and now > seg.started:
+                self.obs.emit(
                     ComputeSegment(
-                        t=self.engine.now,
+                        t=now,
                         sm_id=self.sm_id,
                         block_id=seg.block.block_id,
                         kernel=seg.block.kernel.name,

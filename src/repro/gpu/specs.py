@@ -13,7 +13,7 @@ Kepler SMX) and GeForce GTX 1080 (20 SMs, Pascal).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

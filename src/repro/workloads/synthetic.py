@@ -117,6 +117,16 @@ class _SyntheticStage(Stage):
         self._spec = spec
         self._next = next_stage
         self._params = params
+        #: With no imbalance every task costs the mean; TaskCost is frozen,
+        #: so one shared instance serves all of them.
+        self._flat_cost = (
+            TaskCost(
+                cycles_per_thread=spec.mean_cycles,
+                mem_fraction=spec.mem_fraction,
+            )
+            if spec.imbalance <= 0
+            else None
+        )
         super().__init__()
 
     def execute(self, item: _SyntheticItem, ctx) -> None:
@@ -134,11 +144,11 @@ class _SyntheticStage(Stage):
             )
             return
         # Fan out: floor(fan_out) children plus one more with probability
-        # frac(fan_out), each a fresh token.
+        # frac(fan_out), each a fresh token.  Integral fan-outs skip the
+        # hash entirely — its draw could never beat a zero fraction.
         count = int(spec.fan_out)
-        if _unit_hash(seed, self.name, item.token, "fan") < (
-            spec.fan_out - count
-        ):
+        frac = spec.fan_out - count
+        if frac > 0.0 and _unit_hash(seed, self.name, item.token, "fan") < frac:
             count += 1
         for child in range(count):
             payload = _SyntheticItem(f"{item.token}.{child}", 0)
@@ -148,11 +158,11 @@ class _SyntheticStage(Stage):
                 ctx.emit(self._next, payload)
 
     def cost(self, item: _SyntheticItem) -> TaskCost:
+        if self._flat_cost is not None:
+            return self._flat_cost
         spec = self._spec
-        factor = 1.0
-        if spec.imbalance > 0:
-            unit = _unit_hash(self._params.seed, self.name, item.token, "c")
-            factor = 1.0 - spec.imbalance + 2.0 * spec.imbalance * unit
+        unit = _unit_hash(self._params.seed, self.name, item.token, "c")
+        factor = 1.0 - spec.imbalance + 2.0 * spec.imbalance * unit
         return TaskCost(
             cycles_per_thread=spec.mean_cycles * factor,
             mem_fraction=spec.mem_fraction,

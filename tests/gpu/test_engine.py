@@ -5,6 +5,12 @@ import pytest
 from repro.gpu.engine import Engine
 
 
+@pytest.fixture
+def aggressive_compaction(monkeypatch):
+    """Force heap compaction on every cancellation."""
+    monkeypatch.setattr(Engine, "COMPACT_MIN", 1)
+
+
 def test_events_fire_in_time_order():
     engine = Engine()
     fired = []
@@ -89,3 +95,138 @@ def test_step_on_empty_heap_returns_false():
     engine = Engine()
     assert engine.step() is False
     assert engine.now == 0.0
+
+
+def test_schedule_at_clamps_past_times():
+    engine = Engine()
+    fired = []
+    engine.schedule(3.0, lambda: engine.schedule_at(1.0, lambda: fired.append(engine.now)))
+    engine.run()
+    assert fired == [3.0]  # cannot fire in the past
+
+
+def test_schedule_many_matches_individual_schedules():
+    """schedule_many fires in list order and interleaves with singles by seq."""
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append("a"))
+    tokens = engine.schedule_many(1.0, [lambda n=n: fired.append(n) for n in "bcd"])
+    engine.schedule(1.0, lambda: fired.append("e"))
+    assert len(tokens) == 3
+    tokens[1].cancel()
+    engine.run()
+    assert fired == ["a", "b", "d", "e"]
+
+
+# ----------------------------------------------------------------------
+# Tombstone accounting and compaction.
+# ----------------------------------------------------------------------
+
+def test_peak_pending_ignores_tombstones():
+    """Cancelled events are heap garbage, not pending work: the peak must
+    count live events only."""
+    engine = Engine()
+    tokens = [engine.schedule(1.0, lambda: None) for _ in range(10)]
+    assert engine.peak_pending_events == 10
+    for token in tokens[2:]:
+        token.cancel()
+    assert engine.pending_events == 2
+    # Scheduling two more raises live count to 4 -- still below the peak
+    # of 10, and the 8 tombstones must not inflate it.
+    engine.schedule(1.0, lambda: None)
+    engine.schedule(1.0, lambda: None)
+    assert engine.peak_pending_events == 10
+    engine.run()
+    assert engine.events_processed == 4
+
+
+def test_pending_events_tracks_cancellations():
+    engine = Engine()
+    a = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending_events == 2
+    a.cancel()
+    assert engine.pending_events == 1
+    a.cancel()  # double-cancel must not double-count
+    assert engine.pending_events == 1
+
+
+def test_cancel_then_drain_preserves_live_events(aggressive_compaction):
+    """Compaction on cancel must not drop or reorder live events."""
+    engine = Engine()
+    fired = []
+    keep = [engine.schedule(float(i), lambda i=i: fired.append(i)) for i in range(6)]
+    doomed = [engine.schedule(float(i) + 0.5, lambda: fired.append("X")) for i in range(8)]
+    for token in doomed:
+        token.cancel()  # compaction fires once tombstones outnumber live
+    assert engine.pending_events == 6
+    assert len(engine._heap) == 6  # tombstones really were removed
+    engine.run()
+    assert fired == list(range(6))
+    assert [t.cancelled for t in keep] == [False] * 6
+
+
+def test_cancel_during_step_is_honoured(aggressive_compaction):
+    """An event cancelled by an earlier event in the same run never fires,
+    even when the cancellation compacts the heap mid-run."""
+    engine = Engine()
+    fired = []
+    victim = engine.schedule(2.0, lambda: fired.append("victim"))
+    engine.schedule(1.0, lambda: victim.cancel())
+    engine.schedule(3.0, lambda: fired.append("after"))
+    engine.run()
+    assert fired == ["after"]
+
+
+def test_late_cancel_after_fire_is_free():
+    engine = Engine()
+    fired = []
+    token = engine.schedule(1.0, lambda: fired.append("x"))
+    engine.run()
+    token.cancel()  # already fired: must not corrupt tombstone accounting
+    assert engine.pending_events == 0
+    engine.schedule(1.0, lambda: fired.append("y"))
+    engine.run()
+    assert fired == ["x", "y"]
+
+
+def test_max_events_guard_survives_compaction(aggressive_compaction):
+    """Compaction must not reset the processed-event budget."""
+    engine = Engine()
+
+    def churn():
+        # Re-arm one, cancel one: every iteration leaves a tombstone.
+        engine.schedule(1.0, churn)
+        engine.schedule(1.0, lambda: None).cancel()
+
+    engine.schedule(0.0, churn)
+    with pytest.raises(RuntimeError, match="livelock"):
+        engine.run(max_events=50)
+
+
+def test_timer_rearm_replaces_previous_arming():
+    engine = Engine()
+    fired = []
+
+    def on_tick():
+        timer.fired()
+        fired.append(engine.now)
+
+    timer = engine.timer(on_tick)
+    timer.arm(5.0)
+    timer.arm(2.0)  # replaces the 5.0 arming
+    assert timer.armed
+    engine.run()
+    assert fired == [2.0]
+    assert not timer.armed
+
+
+def test_timer_disarm_cancels():
+    engine = Engine()
+    fired = []
+    timer = engine.timer(lambda: fired.append("tick"))
+    timer.arm(1.0)
+    timer.disarm()
+    engine.run()
+    assert fired == []
+    assert not timer.armed

@@ -39,6 +39,20 @@ class TestIterMetrics:
             "workloads.ldpc.best_time_ms": 4.0,
         }
 
+    def test_cost_leaves_are_gated(self):
+        """``_cost`` leaves (machine-normalised overheads, e.g. the
+        simulator speed gate's event_cost) are metrics; raw wall times
+        and throughputs are not."""
+        node = {
+            "synthetic_deep": {
+                "event_cost": 40.0,
+                "wall_s": 0.05,
+                "events_per_s": 50_000.0,
+            }
+        }
+        metrics = dict(check_bench.iter_metrics(node))
+        assert metrics == {"synthetic_deep.event_cost": 40.0}
+
     def test_lists_and_bools_handled(self):
         node = {"runs": [{"t_ms": 2.0}, {"t_ms": 3.0}], "ok_ms": True}
         metrics = dict(check_bench.iter_metrics(node))
@@ -131,7 +145,8 @@ class TestRealBaselines:
     """The committed baselines must always self-compare clean."""
 
     @pytest.mark.parametrize(
-        "name", ["BENCH_fig11.json", "BENCH_tuner.json"]
+        "name",
+        ["BENCH_fig11.json", "BENCH_tuner.json", "BENCH_simspeed.json"],
     )
     def test_baseline_self_compare(self, name):
         path = os.path.join(
