@@ -19,6 +19,14 @@ observer for the run.
 
 All commands use the workloads' quick parameters by default; pass
 ``--full`` for the paper-scale defaults.
+
+Workload commands share two execution knobs (see ``docs/batching.md``):
+``--batch-size N`` caps how many same-stage items each queue drain hands
+to ``Stage.execute_batch`` (default unlimited; ``1`` forces the scalar
+path), and ``--no-replay-cache`` disables the compute-once/simulate-many
+trace reuse that otherwise lets ``compare`` run the stage code only once
+across its three models.  Both paths are schedule-preserving: the
+simulated results are bit-identical whichever knobs are set.
 """
 
 from __future__ import annotations
@@ -28,7 +36,6 @@ import json
 import os
 import sys
 
-from .core.executor import FunctionalExecutor
 from .core.models import (
     CoarsePipelineModel,
     DynamicParallelismModel,
@@ -43,6 +50,8 @@ from .core.tuner.offline import TunerOptions
 from .gpu.device import GPUDevice
 from .gpu.specs import PRESETS, get_spec
 from .gpu.tracing import render_timeline
+from .harness.runner import execute_model
+from .harness.tracecache import TraceCache
 from .obs import Observer, RunReport, write_report_json
 from .workloads.registry import all_workloads, get_workload
 
@@ -82,17 +91,32 @@ def _build_model(name, spec, pipeline, gpu, params):
     raise ValueError(name)
 
 
-def _run_once(spec, model_name, gpu, params, trace=False, observe=False):
+def _exec_options(args):
+    """The batching/replay knobs shared by every workload command.
+
+    Defaults: unlimited batching, replay cache on — one functional run
+    per invocation, every further model simulated from the recorded
+    trace.  ``--batch-size 1`` forces the scalar path; ``--batch-size N``
+    caps each queue drain; ``--no-replay-cache`` re-executes the stage
+    code for every model.
+    """
+    batch_size = getattr(args, "batch_size", None)
+    cache = None if getattr(args, "no_replay_cache", False) else TraceCache()
+    return batch_size, cache
+
+
+def _run_once(
+    spec, model_name, gpu, params, trace=False, observe=False,
+    batch_size=None, cache=None,
+):
     pipeline = spec.build_pipeline(params)
     model = _build_model(model_name, spec, pipeline, gpu, params)
     device = GPUDevice(gpu)
     tracer = device.enable_tracing() if trace else None
     observer = Observer().attach(device) if observe else None
-    result = model.run(
-        pipeline,
-        device,
-        FunctionalExecutor(pipeline),
-        spec.initial_items(params),
+    result, _replayed = execute_model(
+        spec, pipeline, model, device, params,
+        batch_size=batch_size, cache=cache,
     )
     spec.check_outputs(params, result.outputs)
     if observer is not None:
@@ -138,8 +162,10 @@ def cmd_run(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
+    batch_size, cache = _exec_options(args)
     result, _, observer = _run_once(
-        spec, args.model, gpu, params, observe=_wants_observer(args)
+        spec, args.model, gpu, params, observe=_wants_observer(args),
+        batch_size=batch_size, cache=cache,
     )
     print(
         f"{args.workload} / {args.model} on {gpu.name}: "
@@ -167,13 +193,15 @@ def cmd_compare(args) -> int:
     gpu = get_spec(args.device)
     params = _params(spec, args)
     observe = _wants_observer(args)
+    batch_size, cache = _exec_options(args)
     print(f"{args.workload} on {gpu.name} "
           f"({'paper-scale' if args.full else 'quick'} parameters):")
     rows = []
     reports = {}
     for model_name in ("baseline", "megakernel", "versapipe"):
         result, _, observer = _run_once(
-            spec, model_name, gpu, params, observe=observe
+            spec, model_name, gpu, params, observe=observe,
+            batch_size=batch_size, cache=cache,
         )
         rows.append((model_name, result.time_ms))
         print(f"  {model_name:12s} {result.time_ms:10.3f} ms")
@@ -209,10 +237,21 @@ def cmd_stats(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
+    batch_size, cache = _exec_options(args)
     result, _, observer = _run_once(
-        spec, args.model, gpu, params, observe=True
+        spec, args.model, gpu, params, observe=True,
+        batch_size=batch_size, cache=cache,
     )
     print(result.report.summary_text())
+    size = "unlimited" if batch_size is None else str(batch_size)
+    if cache is None:
+        replay = "off (--no-replay-cache)"
+    else:
+        replay = (
+            f"on ({len(cache)} trace(s), {cache.hits} hits / "
+            f"{cache.misses} misses)"
+        )
+    print(f"batching: batch-size={size}; replay cache: {replay}")
     _write_outputs(args, observer, result)
     return 0
 
@@ -227,6 +266,7 @@ def cmd_tune(args) -> int:
     cache_dir = args.cache_dir
     if cache_dir is not None:
         cache_dir = os.path.expanduser(cache_dir)
+    batch_size, cache = _exec_options(args)
     tuned = tune_workload(
         spec.name,
         gpu,
@@ -237,6 +277,8 @@ def cmd_tune(args) -> int:
             cache_dir=cache_dir,
             dominance_pruning=not args.no_dominance,
         ),
+        batch_size=batch_size,
+        cache=cache,
     )
     report = tuned.report
     print(f"profiled {tuned.profiled_tasks} tasks")
@@ -259,9 +301,11 @@ def cmd_timeline(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
     params = _params(spec, args)
+    batch_size, cache = _exec_options(args)
     result, tracer, observer = _run_once(
         spec, args.model, gpu, params, trace=True,
         observe=_wants_observer(args),
+        batch_size=batch_size, cache=cache,
     )
     print(
         f"{args.workload} / {args.model} on {gpu.name}: "
@@ -291,6 +335,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--full",
             action="store_true",
             help="use paper-scale parameters instead of quick ones",
+        )
+        p.add_argument(
+            "--batch-size",
+            type=int,
+            default=None,
+            metavar="N",
+            help="cap items per Stage.execute_batch call (default: "
+            "unlimited; 1 forces the scalar per-item path)",
+        )
+        p.add_argument(
+            "--no-replay-cache",
+            action="store_true",
+            help="re-run stage code for every model instead of recording "
+            "the task trace once and replaying it (default: cache on)",
         )
 
     def add_obs(p):

@@ -62,8 +62,10 @@ def _wave_batches(
     busy = 0.0
     current: Optional[_WaveBatch] = None
     count_in_block = 0
-    for item in items:
-        result = executor.run_task(stage_name, item)
+    # The whole wave is one same-stage batch — KBK's best case for
+    # coalescing (everything pending drains at once).  Per-item packing
+    # below is unchanged, so batches/costs stay bit-identical.
+    for result in executor.run_batch(stage_name, list(items)):
         if current is None or count_in_block >= per_block:
             current = _WaveBatch()
             batches.append(current)

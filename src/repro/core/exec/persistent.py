@@ -226,7 +226,7 @@ class PersistentGroupRunner:
         stages_map = self.pipeline.stages
         threads_per_block = kernel.threads_per_block
         run_inline = ctx.executor.run_inline
-        run_task = ctx.executor.run_task
+        run_batch = ctx.executor.run_batch
         block_id = block.block_id
         fetch = ctx.fetch_async
         # One reusable fetch command: Wait is immutable and ``register`` is
@@ -284,8 +284,14 @@ class PersistentGroupRunner:
             else:
                 n_tasks = 0
                 stage_cycles = 0.0
-                for qitem in qitems:
-                    result = run_task(stage_name, qitem.payload)
+                # One batched drain per fetch: the whole same-stage batch
+                # goes through Stage.execute_batch, then per-item accounting
+                # below replays the exact scalar float expressions (locality
+                # uses each item's own producer SM).
+                results = run_batch(
+                    stage_name, [qitem.payload for qitem in qitems]
+                )
+                for qitem, result in zip(qitems, results):
                     cost = result.cost
                     cycles = cost.cycles_per_thread
                     producer_sm = qitem.producer_sm

@@ -85,6 +85,15 @@ class Executor:
         """Process ``item`` at ``stage``; returns cost, children, outputs."""
         raise NotImplementedError
 
+    def run_batch(self, stage: str, items: Sequence[object]) -> list[ExecResult]:
+        """Process a same-stage batch; ``result[i]`` matches ``items[i]``.
+
+        Must be observationally identical to calling :meth:`run_task` on
+        each item in order — same costs, same emissions, same outputs.
+        Executors without a faster path inherit this per-item loop.
+        """
+        return [self.run_task(stage, item) for item in items]
+
     def run_inline(
         self, stage: str, item: object, inline_set: frozenset[str]
     ) -> InlineResult:
@@ -114,10 +123,19 @@ class Executor:
 
 
 class FunctionalExecutor(Executor):
-    """Runs the real stage code on raw payloads."""
+    """Runs the real stage code on raw payloads.
 
-    def __init__(self, pipeline: Pipeline) -> None:
+    ``batch_size`` caps how many items one :meth:`run_batch` call hands to
+    ``Stage.execute_batch`` at a time: ``None`` (the default) means
+    unlimited, ``1`` disables batching entirely and forces the scalar
+    :meth:`run_task` path (useful for equivalence testing).
+    """
+
+    def __init__(self, pipeline: Pipeline, batch_size: int | None = None) -> None:
         super().__init__(pipeline)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None for unlimited)")
+        self.batch_size = batch_size
         # run_task is called once per simulated task: pre-resolve the
         # stage objects and their emit sets so the hot path does no
         # pipeline lookups and builds no frozensets.
@@ -142,6 +160,35 @@ class FunctionalExecutor(Executor):
             )
         return ExecResult(cost=cost, children=ctx.children, outputs=ctx.outputs)
 
+    def run_batch(self, stage: str, items: Sequence[object]) -> list[ExecResult]:
+        if self.batch_size == 1 or len(items) == 1:
+            return [self.run_task(stage, item) for item in items]
+        stage_obj = self._stages[stage]
+        emit_set = self._emit_sets[stage]
+        results: list[ExecResult] = []
+        cap = self.batch_size or len(items)
+        for start in range(0, len(items), cap):
+            chunk = items[start : start + cap]
+            ctxs = [EmitContext(emit_set) for _ in chunk]
+            costs = stage_obj.execute_batch(chunk, ctxs)
+            if len(costs) != len(chunk):
+                raise ExecutionError(
+                    f"stage {stage!r} returned {len(costs)} costs from "
+                    f"execute_batch() for a batch of {len(chunk)}"
+                )
+            for cost, ctx in zip(costs, ctxs):
+                if not isinstance(cost, TaskCost):
+                    raise ExecutionError(
+                        f"stage {stage!r} returned {type(cost).__name__} "
+                        "from execute_batch(); expected TaskCost"
+                    )
+                results.append(
+                    ExecResult(
+                        cost=cost, children=ctx.children, outputs=ctx.outputs
+                    )
+                )
+        return results
+
 
 class RecordingExecutor(Executor):
     """Runs the real stage code while recording the task graph.
@@ -150,9 +197,15 @@ class RecordingExecutor(Executor):
     as :attr:`trace` once the run completes.
     """
 
-    def __init__(self, pipeline: Pipeline) -> None:
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        batch_size: int | None = None,
+        record_outputs: bool = False,
+    ) -> None:
         super().__init__(pipeline)
-        self._functional = FunctionalExecutor(pipeline)
+        self._functional = FunctionalExecutor(pipeline, batch_size=batch_size)
+        self._record_outputs = record_outputs
         self.trace = Trace()
 
     def _new_node_id(self) -> int:
@@ -164,9 +217,8 @@ class RecordingExecutor(Executor):
         self.trace.initial.setdefault(stage, []).append(node_id)
         return (node_id, payload)
 
-    def run_task(self, stage: str, item: object) -> ExecResult:
-        node_id, payload = item
-        result = self._functional.run_task(stage, payload)
+    def _record(self, stage: str, node_id: int, result: ExecResult) -> ExecResult:
+        """Allocate child ids for one functional result and fill its node."""
         child_items: list[tuple[str, object]] = []
         child_ids: list[int] = []
         for target, child_payload in result.children:
@@ -180,9 +232,27 @@ class RecordingExecutor(Executor):
             children=tuple(child_ids),
             n_outputs=len(result.outputs),
         )
+        if self._record_outputs and result.outputs:
+            self.trace.recorded_outputs[node_id] = list(result.outputs)
         return ExecResult(
             cost=result.cost, children=child_items, outputs=result.outputs
         )
+
+    def run_task(self, stage: str, item: object) -> ExecResult:
+        node_id, payload = item
+        result = self._functional.run_task(stage, payload)
+        return self._record(stage, node_id, result)
+
+    def run_batch(self, stage: str, items: Sequence[object]) -> list[ExecResult]:
+        # Execute the whole batch functionally, then assign child node ids
+        # per item in order — the id sequence is identical to a scalar
+        # run_task loop because functional execution allocates no ids.
+        payloads = [payload for _, payload in items]
+        raw = self._functional.run_batch(stage, payloads)
+        return [
+            self._record(stage, node_id, result)
+            for (node_id, _), result in zip(items, raw)
+        ]
 
 
 class ReplayExecutor(Executor):
@@ -218,5 +288,9 @@ class ReplayExecutor(Executor):
         children = [
             (self.trace.node(cid).stage, cid) for cid in node.children
         ]
-        outputs = [None] * node.n_outputs
+        recorded = self.trace.recorded_outputs.get(item)
+        if recorded is not None:
+            outputs: list[object] = list(recorded)
+        else:
+            outputs = [None] * node.n_outputs
         return ExecResult(cost=node.cost, children=children, outputs=outputs)

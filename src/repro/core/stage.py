@@ -142,6 +142,26 @@ class Stage:
         """Simulated processing cost of ``item`` (cycles per thread)."""
         return TaskCost(cycles_per_thread=1000.0)
 
+    def execute_batch(
+        self, items: Sequence[object], ctxs: Sequence[EmitContext]
+    ) -> list[TaskCost]:
+        """Process a batch of same-stage items, one :class:`EmitContext` each.
+
+        The default runs :meth:`execute` and :meth:`cost` per item, so user
+        stages need no changes to work under batched drains.  Overrides may
+        vectorise the computation across the batch (GRAMPS-style packet
+        processing) but must stay *observationally identical* to the scalar
+        path: emissions land on ``ctxs[i]`` in the same order ``execute``
+        would produce, and ``result[i]`` is bit-identical to
+        ``self.cost(items[i])``.  ``tests/test_batch_equivalence.py`` pins
+        this contract for the built-in workloads.
+        """
+        costs: list[TaskCost] = []
+        for item, ctx in zip(items, ctxs):
+            self.execute(item, ctx)
+            costs.append(self.cost(item))
+        return costs
+
     # ------------------------------------------------------------------
     # Derived properties.
     # ------------------------------------------------------------------

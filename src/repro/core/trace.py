@@ -34,6 +34,10 @@ class Trace:
     nodes: list[TraceNode] = field(default_factory=list)
     #: Entry node ids per entry stage, in insertion order.
     initial: dict[str, list[int]] = field(default_factory=dict)
+    #: Sink payloads per producing node id.  Only populated when the
+    #: recording executor is asked to keep outputs (harness replay cache);
+    #: the tuner records without them to keep traces light.
+    recorded_outputs: dict[int, list[object]] = field(default_factory=dict)
 
     def node(self, node_id: int) -> TraceNode:
         return self.nodes[node_id]

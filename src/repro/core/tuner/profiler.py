@@ -89,13 +89,24 @@ def profile_pipeline(
     pipeline: Pipeline,
     spec: GPUSpec,
     initial_items: dict[str, Sequence[object]],
+    batch_size: int | None = None,
+    record_outputs: bool = False,
 ) -> tuple[PipelineProfile, Trace]:
     """Record a trace of the full task graph and summarise it per stage.
 
     The expansion is a breadth-first walk of the task graph — no simulated
-    device is needed because the graph is schedule-independent.
+    device is needed because the graph is schedule-independent.  Maximal
+    same-stage prefixes of the frontier drain through ``run_batch``; that
+    preserves both the expansion order and the node-id assignment of the
+    scalar walk (children are appended per parent, in parent order), so
+    trace fingerprints are unchanged.
+
+    With ``record_outputs=True`` the trace also keeps the real output
+    payloads, making it reusable by the harness's replay cache.
     """
-    executor = RecordingExecutor(pipeline)
+    executor = RecordingExecutor(
+        pipeline, batch_size=batch_size, record_outputs=record_outputs
+    )
     frontier: deque[tuple[str, object]] = deque()
     for stage_name, payloads in initial_items.items():
         pipeline.stage(stage_name)  # validates the name
@@ -105,10 +116,23 @@ def profile_pipeline(
             )
     while frontier:
         stage_name, item = frontier.popleft()
-        result = executor.run_task(stage_name, item)
-        frontier.extend(result.children)
+        batch = [item]
+        while frontier and frontier[0][0] == stage_name:
+            batch.append(frontier.popleft()[1])
+        for result in executor.run_batch(stage_name, batch):
+            frontier.extend(result.children)
+    return profile_from_trace(pipeline, spec, executor.trace), executor.trace
 
-    trace = executor.trace
+
+def profile_from_trace(
+    pipeline: Pipeline, spec: GPUSpec, trace: Trace
+) -> PipelineProfile:
+    """Summarise an already-recorded trace per stage.
+
+    The profile depends only on the trace and the pipeline's kernel
+    resources, so a trace cached by the harness can be re-profiled
+    without re-running any stage code.
+    """
     task_counts = trace.tasks_per_stage()
     work = trace.work_per_stage()
     profiles: dict[str, StageProfile] = {}
@@ -125,10 +149,7 @@ def profile_pipeline(
             registers_per_thread=stage.registers_per_thread,
             threads_per_item=stage.threads_per_item,
         )
-    return (
-        PipelineProfile(stages=profiles, total_tasks=trace.num_tasks),
-        trace,
-    )
+    return PipelineProfile(stages=profiles, total_tasks=trace.num_tasks)
 
 
 def replay_placeholders(trace: Trace) -> dict[str, list[object]]:

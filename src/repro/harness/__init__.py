@@ -6,17 +6,26 @@ from .runner import (
     ExperimentCell,
     TunedWorkload,
     aggregate_reports,
+    execute_model,
     run_cell,
     run_versapipe,
     run_workload_models,
     tune_workload,
 )
 from .tables import format_table, ratio, render_figure11, render_table2
+from .tracecache import (
+    DEFAULT_TRACE_CACHE,
+    TraceCache,
+    workload_fingerprint,
+)
 
 __all__ = [
+    "DEFAULT_TRACE_CACHE",
     "ExperimentCell",
+    "TraceCache",
     "TunedWorkload",
     "aggregate_reports",
+    "execute_model",
     "format_table",
     "ratio",
     "render_figure11",
@@ -25,4 +34,5 @@ __all__ = [
     "run_versapipe",
     "run_workload_models",
     "tune_workload",
+    "workload_fingerprint",
 ]

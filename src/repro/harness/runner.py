@@ -9,7 +9,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..core.executor import FunctionalExecutor, ReplayExecutor
+from ..core.executor import (
+    FunctionalExecutor,
+    RecordingExecutor,
+    ReplayExecutor,
+)
 from ..core.models import (
     DynamicParallelismModel,
     HybridModel,
@@ -23,6 +27,7 @@ from ..core.trace import Trace
 from ..core.tuner.offline import OfflineTuner, TunerOptions, TunerReport
 from ..core.tuner.profiler import (
     PipelineProfile,
+    profile_from_trace,
     profile_pipeline,
     replay_placeholders,
 )
@@ -31,6 +36,7 @@ from ..gpu.specs import GPUSpec, K20C
 from ..obs import Observer, RunReport, TunerStats
 from ..obs.events import EventBus
 from ..workloads.registry import WorkloadSpec, get_workload
+from .tracecache import DEFAULT_TRACE_CACHE, TraceCache, workload_fingerprint
 
 
 @dataclass
@@ -44,6 +50,52 @@ class ExperimentCell:
     #: Extrapolated to the paper's full workload size.
     scaled_ms: float
     result: RunResult = field(repr=False, default=None)
+    #: True when the functional work was replayed from a cached trace.
+    replayed: bool = False
+
+
+def execute_model(
+    spec: WorkloadSpec,
+    pipeline,
+    model: ExecutionModel,
+    device: GPUDevice,
+    params: object,
+    batch_size: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
+) -> tuple[RunResult, bool]:
+    """Run ``model`` with the cheapest executor that preserves the result.
+
+    Without a ``cache`` the stages execute functionally (``batch_size``
+    caps how many same-stage items each queue drain hands to
+    ``Stage.execute_batch``).  With a cache, the first run of a
+    (workload, params) cell records the full task trace — costs, children
+    *and* output payloads — and every later run of the same cell replays
+    it, simulating pure scheduling with no stage code at all.  Both the
+    batched and the replayed paths are schedule-preserving, so the
+    returned :class:`RunResult` is identical either way.
+
+    Returns ``(result, replayed)``.
+    """
+    if cache is not None:
+        key = workload_fingerprint(spec, params)
+        trace = cache.get(key)
+        if trace is not None:
+            executor = ReplayExecutor(pipeline, trace)
+            result = model.run(
+                pipeline, device, executor, replay_placeholders(trace)
+            )
+            return result, True
+        recorder = RecordingExecutor(
+            pipeline, batch_size=batch_size, record_outputs=True
+        )
+        result = model.run(
+            pipeline, device, recorder, spec.initial_items(params)
+        )
+        cache.put(key, recorder.trace)
+        return result, False
+    executor = FunctionalExecutor(pipeline, batch_size=batch_size)
+    result = model.run(pipeline, device, executor, spec.initial_items(params))
+    return result, False
 
 
 def run_cell(
@@ -54,19 +106,25 @@ def run_cell(
     check: bool = True,
     label: Optional[str] = None,
     observe: bool = False,
+    batch_size: Optional[int] = None,
+    cache: Optional[TraceCache] = None,
 ) -> ExperimentCell:
     """Run one workload under one model on one simulated device.
 
     With ``observe=True`` an :class:`~repro.obs.Observer` is attached for
     the run and the derived :class:`~repro.obs.RunReport` lands on
-    ``cell.result.report``, labelled ``workload/model/device``.
+    ``cell.result.report``, labelled ``workload/model/device``.  Pass a
+    :class:`TraceCache` to enable compute-once/simulate-many trace reuse
+    across models (see :func:`execute_model`).
     """
     params = params if params is not None else spec.default_params()
     pipeline = spec.build_pipeline(params)
     device = GPUDevice(gpu)
     observer = Observer().attach(device) if observe else None
-    executor = FunctionalExecutor(pipeline)
-    result = model.run(pipeline, device, executor, spec.initial_items(params))
+    result, replayed = execute_model(
+        spec, pipeline, model, device, params, batch_size=batch_size,
+        cache=cache,
+    )
     if check:
         spec.check_outputs(params, result.outputs)
     if observer is not None:
@@ -82,6 +140,7 @@ def run_cell(
         time_ms=result.time_ms,
         scaled_ms=result.time_ms * scale,
         result=result,
+        replayed=replayed,
     )
 
 
@@ -91,6 +150,8 @@ def run_versapipe(
     params: Optional[object] = None,
     check: bool = True,
     observe: bool = False,
+    batch_size: Optional[int] = None,
+    cache: Optional[TraceCache] = DEFAULT_TRACE_CACHE,
 ) -> ExperimentCell:
     """Run the workload as VersaPipe would: pick the fastest hybrid plan.
 
@@ -132,6 +193,8 @@ def run_versapipe(
             check=check,
             label="versapipe",
             observe=observe,
+            batch_size=batch_size,
+            cache=cache,
         )
         if best is None or cell.time_ms < best.time_ms:
             best = cell
@@ -144,9 +207,16 @@ def run_workload_models(
     params: Optional[object] = None,
     check: bool = True,
     observe: bool = False,
+    batch_size: Optional[int] = None,
+    cache: Optional[TraceCache] = DEFAULT_TRACE_CACHE,
 ) -> dict[str, ExperimentCell]:
     """The three Table 2 columns for one workload: baseline, megakernel,
-    versapipe."""
+    versapipe.
+
+    By default the baseline run records the workload's task trace and the
+    remaining columns replay it (compute once, simulate many); pass
+    ``cache=None`` to run every column functionally.
+    """
     spec = get_workload(name)
     params = params if params is not None else spec.default_params()
     return {
@@ -158,12 +228,27 @@ def run_workload_models(
             check=check,
             label=spec.baseline_name,
             observe=observe,
+            batch_size=batch_size,
+            cache=cache,
         ),
         "megakernel": run_cell(
-            spec, MegakernelModel(), gpu, params, check=check, observe=observe
+            spec,
+            MegakernelModel(),
+            gpu,
+            params,
+            check=check,
+            observe=observe,
+            batch_size=batch_size,
+            cache=cache,
         ),
         "versapipe": run_versapipe(
-            spec, gpu, params, check=check, observe=observe
+            spec,
+            gpu,
+            params,
+            check=check,
+            observe=observe,
+            batch_size=batch_size,
+            cache=cache,
         ),
     }
 
@@ -192,6 +277,8 @@ def tune_workload(
     params: Optional[object] = None,
     options: Optional[TunerOptions] = None,
     bus: Optional[EventBus] = None,
+    batch_size: Optional[int] = None,
+    cache: Optional[TraceCache] = DEFAULT_TRACE_CACHE,
 ) -> TunedWorkload:
     """Profile one workload and run the offline search end to end.
 
@@ -199,14 +286,25 @@ def tune_workload(
     benchmark and the CI gate: records the trace, builds the profile,
     and runs :class:`~repro.core.tuner.offline.OfflineTuner` with the
     given options (worker pool, profile cache, dominance pruning
-    included).
+    included).  A trace already recorded by the harness (same workload
+    and params) is reused instead of re-running the stage code.
     """
     spec = get_workload(name)
     params = params if params is not None else spec.default_params()
     pipeline = spec.build_pipeline(params)
-    profile, trace = profile_pipeline(
-        pipeline, gpu, spec.initial_items(params)
-    )
+    trace = cache.get(workload_fingerprint(spec, params)) if cache else None
+    if trace is not None:
+        profile = profile_from_trace(pipeline, gpu, trace)
+    else:
+        profile, trace = profile_pipeline(
+            pipeline,
+            gpu,
+            spec.initial_items(params),
+            batch_size=batch_size,
+            record_outputs=cache is not None,
+        )
+        if cache is not None:
+            cache.put(workload_fingerprint(spec, params), trace)
     tuner = OfflineTuner(
         pipeline, gpu, trace, profile=profile, options=options, bus=bus
     )

@@ -1,0 +1,105 @@
+"""Compute-once/simulate-many trace reuse for the experiment harness.
+
+A workload's task graph depends only on the workload parameters (which
+include the seed) — never on the execution model or device the harness is
+simulating.  The harness therefore runs the real stage computations once
+per (workload, params), recording the full trace *with* output payloads,
+and replays that trace for every other model/config of the same cell:
+the remaining runs simulate pure scheduling with recorded costs and
+recorded outputs, skipping all numpy work.
+
+Entries are keyed by a content fingerprint in the same spirit as the
+tuner's on-disk cache (:mod:`repro.core.tuner.cache`): the schema
+version, the workload name, and every parameter field.  Any parameter or
+seed change — or a schema bump — misses cleanly.
+
+The cache is in-memory only: recorded outputs hold real ndarrays, which
+are cheap to keep for a process-long sweep but not worth serialising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Optional
+
+from ..core.trace import Trace
+from ..workloads.registry import WorkloadSpec
+
+#: Bump to invalidate every fingerprint (keying-scheme change).
+TRACE_CACHE_SCHEMA_VERSION = 1
+
+#: Recorded traces retained per cache (LRU).  A sweep touches one trace
+#: per (workload, params) cell; entries hold the workload's real output
+#: payloads, so the cap bounds resident ndarray memory.
+DEFAULT_MAX_ENTRIES = 8
+
+
+def workload_fingerprint(spec: WorkloadSpec, params: object) -> str:
+    """Content key of one functional cell: workload identity + parameters.
+
+    Parameter dataclasses are flattened field by field so *every* field —
+    sizes, iteration counts, and the seed — participates; non-dataclass
+    params fall back to ``repr``.
+    """
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        fields = dataclasses.asdict(params)
+    else:
+        fields = {"repr": repr(params)}
+    payload = json.dumps(
+        {
+            "schema": TRACE_CACHE_SCHEMA_VERSION,
+            "workload": spec.name,
+            "params": fields,
+        },
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """LRU map from workload fingerprint to a recorded :class:`Trace`.
+
+    The traces stored here must be recorded with ``record_outputs=True``
+    so replayed runs still produce the real outputs (and pass the
+    workloads' ``check_outputs``).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, Trace] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Trace]:
+        trace = self._entries.get(key)
+        if trace is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return trace
+
+    def put(self, key: str, trace: Trace) -> None:
+        self._entries[key] = trace
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide cache used by the harness entry points by default; pass
+#: ``cache=None`` (``repro --no-replay-cache``) to force functional runs.
+DEFAULT_TRACE_CACHE = TraceCache()

@@ -1,0 +1,38 @@
+"""Shared helpers for the workloads' vectorised ``execute_batch`` paths.
+
+Batched stage implementations must stay bit-identical to their scalar
+``execute`` (see ``docs/batching.md``), so the only generic machinery they
+share is order-preserving grouping: items are bucketed by a key (usually an
+array shape, so same-shape payloads can be stacked into one ndarray op)
+while remembering their original batch positions, and every group's results
+are scattered back to the per-item :class:`~repro.core.stage.EmitContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Per-item element-count ceiling for stacked batch execution.  Items
+#: beyond this are already large enough to amortise numpy dispatch on
+#: their own, and stacking them only adds copies and cache pressure
+#: (measured slower on HD frames); groups of larger items should run the
+#: scalar path item by item.  Both paths are bit-identical, so this is a
+#: pure performance heuristic.
+STACK_ELEMENT_LIMIT = 1 << 17
+
+
+def group_indices(
+    items: Sequence[T], key: Callable[[T], Hashable]
+) -> dict[Hashable, list[int]]:
+    """Bucket batch positions by ``key(item)``, preserving item order.
+
+    Within a group the indices are ascending, so stacking
+    ``[items[i] for i in indices]`` and scattering results back to
+    ``ctxs[i]`` reproduces the scalar per-item emission order exactly.
+    """
+    groups: dict[Hashable, list[int]] = {}
+    for index, item in enumerate(items):
+        groups.setdefault(key(item), []).append(index)
+    return groups

@@ -35,6 +35,7 @@ from ..core.models.kbk import KBKModel
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
+from .batching import group_indices
 from .registry import PaperNumbers, WorkloadSpec, register_workload
 
 GAMMA = 1.4
@@ -110,27 +111,44 @@ def initial_chunk(params: CFDParams, chunk_id: int) -> ChunkState:
     return ChunkState(chunk_id, density, momentum, energy)
 
 
-def _pressure(state: ChunkState) -> np.ndarray:
-    velocity = state.momentum / state.density
+def _pressure_arrays(
+    density: np.ndarray, momentum: np.ndarray, energy: np.ndarray
+) -> np.ndarray:
+    velocity = momentum / density
     return np.maximum(
         1e-6,
-        (GAMMA - 1) * (state.energy - 0.5 * state.density * velocity**2),
+        (GAMMA - 1) * (energy - 0.5 * density * velocity**2),
     )
+
+
+def _pressure(state: ChunkState) -> np.ndarray:
+    return _pressure_arrays(state.density, state.momentum, state.energy)
+
+
+def compute_step_factor_arrays(
+    density: np.ndarray, momentum: np.ndarray, energy: np.ndarray
+) -> np.ndarray:
+    """Elementwise CFL limit; cells may be laid out (cells,) or (B, cells)."""
+    pressure = _pressure_arrays(density, momentum, energy)
+    speed_of_sound = np.sqrt(GAMMA * pressure / density)
+    velocity = np.abs(momentum / density)
+    return CFL / (velocity + speed_of_sound)
 
 
 def compute_step_factor(state: ChunkState) -> np.ndarray:
     """CFL-limited local time step (Rodinia's cuda_compute_step_factor)."""
-    pressure = _pressure(state)
-    speed_of_sound = np.sqrt(GAMMA * pressure / state.density)
-    velocity = np.abs(state.momentum / state.density)
-    return CFL / (velocity + speed_of_sound)
+    return compute_step_factor_arrays(
+        state.density, state.momentum, state.energy
+    )
 
 
-def compute_flux(state: ChunkState) -> np.ndarray:
-    """Rusanov (local Lax-Friedrichs) flux residual on the periodic ring."""
-    density, momentum, energy = state.density, state.momentum, state.energy
+def compute_flux_arrays(
+    density: np.ndarray, momentum: np.ndarray, energy: np.ndarray
+) -> np.ndarray:
+    """Rusanov flux residual; the ring is the last axis, so one call serves
+    a single chunk (cells,) or a stacked batch (B, cells) identically."""
     velocity = momentum / density
-    pressure = _pressure(state)
+    pressure = _pressure_arrays(density, momentum, energy)
 
     f_mass = momentum
     f_mom = momentum * velocity + pressure
@@ -138,10 +156,10 @@ def compute_flux(state: ChunkState) -> np.ndarray:
     wave = np.abs(velocity) + np.sqrt(GAMMA * pressure / density)
 
     def interface_flux(f, u):
-        f_right = (f + np.roll(f, -1)) / 2
+        f_right = (f + np.roll(f, -1, axis=-1)) / 2
         diss = (
-            np.maximum(wave, np.roll(wave, -1))
-            * (np.roll(u, -1) - u)
+            np.maximum(wave, np.roll(wave, -1, axis=-1))
+            * (np.roll(u, -1, axis=-1) - u)
             / 2
         )
         return f_right - diss
@@ -152,13 +170,26 @@ def compute_flux(state: ChunkState) -> np.ndarray:
 
     residual = np.stack(
         [
-            flux_mass - np.roll(flux_mass, 1),
-            flux_mom - np.roll(flux_mom, 1),
-            flux_en - np.roll(flux_en, 1),
+            flux_mass - np.roll(flux_mass, 1, axis=-1),
+            flux_mom - np.roll(flux_mom, 1, axis=-1),
+            flux_en - np.roll(flux_en, 1, axis=-1),
         ],
-        axis=1,
+        axis=-1,
     )
     return residual
+
+
+def compute_flux(state: ChunkState) -> np.ndarray:
+    """Rusanov (local Lax-Friedrichs) flux residual on the periodic ring."""
+    return compute_flux_arrays(state.density, state.momentum, state.energy)
+
+
+def _stack_states(items: list) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        np.stack([item.state.density for item in items]),
+        np.stack([item.state.momentum for item in items]),
+        np.stack([item.state.energy for item in items]),
+    )
 
 
 def apply_time_step(
@@ -196,6 +227,21 @@ class StepFactorStage(Stage):
             _CFDItem(item.state, item.outer, rk=1, step_factor=factor),
         )
 
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(
+            items, lambda it: it.state.density.size
+        ).values():
+            group = [items[i] for i in indices]
+            factors = compute_step_factor_arrays(*_stack_states(group))
+            for i, factor in zip(indices, factors):
+                ctxs[i].emit(
+                    "flux",
+                    _CFDItem(
+                        items[i].state, items[i].outer, rk=1, step_factor=factor
+                    ),
+                )
+        return [self.cost(item) for item in items]
+
     def cost(self, item: _CFDItem) -> TaskCost:
         return TaskCost(
             item.state.density.size * STEP_FACTOR_CYCLES_PER_CELL / 256,
@@ -224,6 +270,26 @@ class FluxStage(Stage):
                 flux=residual,
             ),
         )
+
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(
+            items, lambda it: it.state.density.size
+        ).values():
+            group = [items[i] for i in indices]
+            residuals = compute_flux_arrays(*_stack_states(group))
+            for i, residual in zip(indices, residuals):
+                item = items[i]
+                ctxs[i].emit(
+                    "time_step",
+                    _CFDItem(
+                        item.state,
+                        item.outer,
+                        item.rk,
+                        step_factor=item.step_factor,
+                        flux=residual,
+                    ),
+                )
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _CFDItem) -> TaskCost:
         return TaskCost(
@@ -267,6 +333,53 @@ class TimeStepStage(Stage):
             )
         else:
             ctx.emit_output(new_state)
+
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(
+            items, lambda it: it.state.density.size
+        ).values():
+            group = [items[i] for i in indices]
+            density, momentum, energy = _stack_states(group)
+            factors = np.stack([it.step_factor for it in group]).min(
+                axis=1
+            ) / np.array(
+                [
+                    float(PAPER_INNER_ITERATIONS - it.rk + 1)
+                    for it in group
+                ]
+            )
+            residual = np.stack([it.flux for it in group])
+            dx = 2 * np.pi / density.shape[1]
+            update = factors[:, None, None] * residual / dx * 0.01
+            new_density = np.maximum(1e-6, density - update[:, :, 0])
+            new_momentum = momentum - update[:, :, 1]
+            new_energy = np.maximum(1e-6, energy - update[:, :, 2])
+            for row, i in enumerate(indices):
+                item = items[i]
+                new_state = ChunkState(
+                    item.state.chunk_id,
+                    new_density[row],
+                    new_momentum[row],
+                    new_energy[row],
+                )
+                if item.rk < self.params.inner_iterations:
+                    ctxs[i].emit(
+                        "flux",
+                        _CFDItem(
+                            new_state,
+                            item.outer,
+                            rk=item.rk + 1,
+                            step_factor=item.step_factor,
+                        ),
+                    )
+                elif item.outer + 1 < self.params.outer_iterations:
+                    ctxs[i].emit(
+                        "step_factor",
+                        _CFDItem(new_state, item.outer + 1, rk=0),
+                    )
+                else:
+                    ctxs[i].emit_output(new_state)
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _CFDItem) -> TaskCost:
         return TaskCost(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Iterable
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
 from . import images
+from .batching import STACK_ELEMENT_LIMIT, group_indices
 from .registry import PaperNumbers, WorkloadSpec, register_workload
 
 WINDOW = 24
@@ -195,6 +197,22 @@ class FDGrayscale(Stage):
             _ImageItem(item.image_id, 0, images.to_grayscale(item.pixels)),
         )
 
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(items, lambda it: it.pixels.shape).values():
+            first = items[indices[0]].pixels
+            grays: Iterable[np.ndarray]
+            if first.ndim == 2:
+                grays = [items[i].pixels for i in indices]
+            elif first[..., 0].size > STACK_ELEMENT_LIMIT:
+                grays = [images.to_grayscale(items[i].pixels) for i in indices]
+            else:
+                grays = images.to_grayscale_batch(
+                    np.stack([items[i].pixels for i in indices])
+                )
+            for i, gray in zip(indices, grays):
+                ctxs[i].emit("histeq", _ImageItem(items[i].image_id, 0, gray))
+        return [self.cost(item) for item in items]
+
     def cost(self, item: _ImageItem) -> TaskCost:
         pixels = item.pixels.shape[0] * item.pixels.shape[1]
         return TaskCost(pixels * GRAY_CYCLES_PER_PIXEL / 256, mem_fraction=0.55)
@@ -215,6 +233,21 @@ class FDHistEq(Stage):
                 item.image_id, 0, images.equalize_histogram(item.pixels)
             ),
         )
+
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(items, lambda it: it.pixels.shape).values():
+            equalized: Iterable[np.ndarray]
+            if items[indices[0]].pixels.size > STACK_ELEMENT_LIMIT:
+                equalized = [
+                    images.equalize_histogram(items[i].pixels) for i in indices
+                ]
+            else:
+                equalized = images.equalize_histogram_batch(
+                    np.stack([items[i].pixels for i in indices])
+                )
+            for i, eq in zip(indices, equalized):
+                ctxs[i].emit("resize", _ImageItem(items[i].image_id, 0, eq))
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _ImageItem) -> TaskCost:
         pixels = item.pixels.shape[0] * item.pixels.shape[1]
@@ -250,6 +283,31 @@ class FDResize(Stage):
                 ),
             )
 
+    def execute_batch(self, items, ctxs):
+        recurse: list[int] = []
+        for index, (item, ctx) in enumerate(zip(items, ctxs)):
+            ctx.emit("feature", item)
+            if item.pixels.shape[0] // 2 >= self.min_height:
+                recurse.append(index)
+        groups = group_indices(
+            [items[i] for i in recurse], lambda it: it.pixels.shape
+        )
+        for local_indices in groups.values():
+            indices = [recurse[j] for j in local_indices]
+            smaller: Iterable[np.ndarray]
+            if items[indices[0]].pixels.size > STACK_ELEMENT_LIMIT:
+                smaller = [images.downsample2x(items[i].pixels) for i in indices]
+            else:
+                smaller = images.downsample2x_batch(
+                    np.stack([items[i].pixels for i in indices])
+                )
+            for i, small in zip(indices, smaller):
+                ctxs[i].emit(
+                    "resize",
+                    _ImageItem(items[i].image_id, items[i].level + 1, small),
+                )
+        return [self.cost(item) for item in items]
+
     def cost(self, item: _ImageItem) -> TaskCost:
         pixels = item.pixels.shape[0] * item.pixels.shape[1]
         return TaskCost(pixels * RESIZE_CYCLES_PER_PIXEL / 256, mem_fraction=0.6)
@@ -271,6 +329,9 @@ class FDFeature(Stage):
 
     def execute(self, item: _ImageItem, ctx) -> None:
         codes = images.lbp_codes(item.pixels)
+        self._emit_bands(item, codes, ctx)
+
+    def _emit_bands(self, item: _ImageItem, codes: np.ndarray, ctx) -> None:
         window_rows = (codes.shape[0] - WINDOW) // STRIDE + 1
         if window_rows <= 0:
             return
@@ -286,6 +347,19 @@ class FDFeature(Stage):
                     pixels=item.pixels,
                 ),
             )
+
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(items, lambda it: it.pixels.shape).values():
+            codes: Iterable[np.ndarray]
+            if items[indices[0]].pixels.size > STACK_ELEMENT_LIMIT:
+                codes = [images.lbp_codes(items[i].pixels) for i in indices]
+            else:
+                codes = images.lbp_codes_batch(
+                    np.stack([items[i].pixels for i in indices])
+                )
+            for i, code_map in zip(indices, codes):
+                self._emit_bands(items[i], code_map, ctxs[i])
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _ImageItem) -> TaskCost:
         pixels = item.pixels.shape[0] * item.pixels.shape[1]
@@ -309,6 +383,15 @@ class FDScanning(Stage):
         hists = _window_histograms(item.codes, rows)
         scores = _chi_square(hists, face_template())
         contrast = _window_contrast(item.pixels, rows)
+        self._emit_detections(item, scores, contrast, ctx)
+
+    def _emit_detections(
+        self,
+        item: _BandItem,
+        scores: np.ndarray,
+        contrast: np.ndarray,
+        ctx,
+    ) -> None:
         cols = (item.codes.shape[1] - WINDOW) // STRIDE + 1
         scale = 2**item.level
         accepted = np.nonzero(
@@ -327,6 +410,49 @@ class FDScanning(Stage):
                     score=float(scores[index]),
                 )
             )
+
+    def execute_batch(self, items, ctxs):
+        # Bands of one pyramid level share their (read-only) code map; all
+        # their windows classify in one strided pass over that map.
+        for indices in group_indices(items, lambda it: id(it.codes)).values():
+            self._execute_level(
+                [items[i] for i in indices], [ctxs[i] for i in indices]
+            )
+        return [self.cost(item) for item in items]
+
+    def _execute_level(self, items: list[_BandItem], ctxs: list) -> None:
+        codes = items[0].codes
+        pixels = items[0].pixels
+        swv = np.lib.stride_tricks.sliding_window_view
+        cols = (codes.shape[1] - WINDOW) // STRIDE + 1
+        # Shared per-level work the scalar path redoes per band: folding the
+        # code map, converting pixels to float, building the window views.
+        folded = codes // (256 // HIST_BINS)
+        code_wins = swv(folded, (WINDOW, WINDOW))[:, ::STRIDE]
+        cropped = pixels[1:-1, 1:-1].astype(np.float32)
+        pix_wins = swv(cropped, (WINDOW, WINDOW))[:, ::STRIDE]
+        # The histograms themselves stay chunked per band: gathering every
+        # band's windows into one array was measured slower (the int64
+        # histogram input balloons past the cache), while per-band chunks
+        # stay resident.  Integer counts are order-independent, so the
+        # per-band chi-square/contrast values match the scalar pass exactly.
+        for item, ctx in zip(items, ctxs):
+            ys = STRIDE * np.arange(item.row_start, item.row_start + item.num_rows)
+            wins = code_wins[ys]
+            n = item.num_rows * cols
+            flat = wins.reshape(n, WINDOW * WINDOW).astype(np.int64)
+            hist = np.bincount(
+                (flat + HIST_BINS * np.arange(n)[:, None]).ravel(),
+                minlength=n * HIST_BINS,
+            ).reshape(n, HIST_BINS) / (WINDOW * WINDOW)
+            scores = _chi_square(hist, face_template())
+            pwins = pix_wins[ys]
+            cheeks = pwins[:, :, 11:16, 8:16].mean(axis=(2, 3))
+            eyes = (
+                pwins[:, :, 5:10, 5:10].min(axis=(2, 3))
+                + pwins[:, :, 5:10, 12:17].min(axis=(2, 3))
+            ) / 2.0
+            self._emit_detections(item, scores, (cheeks - eyes).reshape(n), ctx)
 
     def cost(self, item: _BandItem) -> TaskCost:
         cols = (item.codes.shape[1] - WINDOW) // STRIDE + 1

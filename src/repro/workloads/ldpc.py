@@ -34,6 +34,7 @@ from ..core.models.kbk import KBKModel
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
+from .batching import group_indices
 from .registry import PaperNumbers, WorkloadSpec, register_workload
 
 #: Cost-model constants (cycles), calibrated against Table 2 on K20c.
@@ -135,6 +136,47 @@ def received_samples(params: LDPCParams, frame_id: int) -> np.ndarray:
     return 1.0 + sigma * rng.standard_normal(params.n_bits)
 
 
+def _min_sum_update(v2c: np.ndarray) -> np.ndarray:
+    """Normalised min-sum check update on (rows, dc) messages.
+
+    Rows are independent, so frames can be stacked into one call by
+    reshaping (B, n_checks, dc) to (B * n_checks, dc).
+    """
+    signs = np.sign(v2c)
+    signs[signs == 0] = 1.0
+    sign_prod = signs.prod(axis=1, keepdims=True) * signs
+    mags = np.abs(v2c)
+    order = np.argsort(mags, axis=1)
+    rows = np.arange(mags.shape[0])
+    min1 = mags[rows, order[:, 0]]
+    min2 = mags[rows, order[:, 1]]
+    # Each edge gets the minimum over the *other* edges: min2 for the
+    # minimal edge, min1 elsewhere.
+    out = np.broadcast_to(min1[:, None], mags.shape).copy()
+    out[rows, order[:, 0]] = min2
+    return MINSUM_ALPHA * sign_prod * out
+
+
+def _stacked_totals(
+    llr: np.ndarray, c2v: np.ndarray, idx: np.ndarray, n_bits: int
+) -> np.ndarray:
+    """Batched variable-node totals: (B, n_bits) from stacked messages.
+
+    One offset ``bincount`` accumulates every frame's per-bit sums; bins
+    of different frames are disjoint and within a frame the weights appear
+    in the scalar input order, so each sum is bit-identical to the scalar
+    ``np.bincount(idx.ravel(), weights=frame.c2v.ravel())``.
+    """
+    batch = c2v.shape[0]
+    offsets = (n_bits * np.arange(batch))[:, None, None]
+    counts = np.bincount(
+        (idx[None, :, :] + offsets).ravel(),
+        weights=c2v.ravel(),
+        minlength=batch * n_bits,
+    ).reshape(batch, n_bits)
+    return llr + counts
+
+
 class InitializeStage(Stage):
     name = "initialize"
     emits_to = ("c2v",)
@@ -164,6 +206,28 @@ class InitializeStage(Stage):
             ),
         )
 
+    def execute_batch(self, items, ctxs):
+        sigma = float(10 ** (-self.params.snr_db / 20.0))
+        idx = self.code.check_to_var
+        for indices in group_indices(
+            items, lambda it: it[1].shape
+        ).values():
+            samples = np.stack([items[i][1] for i in indices])
+            llr = 2.0 * samples / (sigma * sigma)
+            v2c = llr[:, idx]
+            for row, i in enumerate(indices):
+                ctxs[i].emit(
+                    "c2v",
+                    _Frame(
+                        frame_id=items[i][0],
+                        llr=llr[row],
+                        c2v=np.zeros(idx.shape),
+                        v2c=v2c[row],
+                        iteration=0,
+                    ),
+                )
+        return [self.cost(item) for item in items]
+
     def cost(self, item) -> TaskCost:
         return TaskCost(
             self.params.modelled_bits * INIT_CYCLES_PER_BIT / 256,
@@ -187,23 +251,33 @@ class C2VStage(Stage):
         self.code = code
 
     def execute(self, frame: _Frame, ctx) -> None:
-        v2c = frame.v2c
-        signs = np.sign(v2c)
-        signs[signs == 0] = 1.0
-        sign_prod = signs.prod(axis=1, keepdims=True) * signs
-        mags = np.abs(v2c)
-        order = np.argsort(mags, axis=1)
-        min1 = mags[np.arange(mags.shape[0]), order[:, 0]]
-        min2 = mags[np.arange(mags.shape[0]), order[:, 1]]
-        # Each edge gets the minimum over the *other* edges: min2 for the
-        # minimal edge, min1 elsewhere.
-        out = np.broadcast_to(min1[:, None], mags.shape).copy()
-        out[np.arange(mags.shape[0]), order[:, 0]] = min2
-        c2v = MINSUM_ALPHA * sign_prod * out
+        c2v = _min_sum_update(frame.v2c)
         ctx.emit(
             "v2c",
             _Frame(frame.frame_id, frame.llr, c2v, frame.v2c, frame.iteration),
         )
+
+    def execute_batch(self, items, ctxs):
+        for indices in group_indices(
+            items, lambda it: it.v2c.shape
+        ).values():
+            stacked = np.stack([items[i].v2c for i in indices])
+            batch, n_checks, dc = stacked.shape
+            c2v = _min_sum_update(stacked.reshape(batch * n_checks, dc))
+            c2v = c2v.reshape(batch, n_checks, dc)
+            for row, i in enumerate(indices):
+                frame = items[i]
+                ctxs[i].emit(
+                    "v2c",
+                    _Frame(
+                        frame.frame_id,
+                        frame.llr,
+                        c2v[row],
+                        frame.v2c,
+                        frame.iteration,
+                    ),
+                )
+        return [self.cost(item) for item in items]
 
     def cost(self, frame: _Frame) -> TaskCost:
         return TaskCost(
@@ -241,6 +315,30 @@ class V2CStage(Stage):
         else:
             ctx.emit("c2v", nxt)
 
+    def execute_batch(self, items, ctxs):
+        idx = self.code.check_to_var
+        for indices in group_indices(
+            items, lambda it: it.c2v.shape
+        ).values():
+            llr = np.stack([items[i].llr for i in indices])
+            c2v = np.stack([items[i].c2v for i in indices])
+            totals = _stacked_totals(llr, c2v, idx, self.code.n_bits)
+            v2c = totals[:, idx] - c2v
+            for row, i in enumerate(indices):
+                frame = items[i]
+                nxt = _Frame(
+                    frame.frame_id,
+                    frame.llr,
+                    frame.c2v,
+                    v2c[row],
+                    frame.iteration + 1,
+                )
+                if nxt.iteration >= self.params.iterations:
+                    ctxs[i].emit("probvar", nxt)
+                else:
+                    ctxs[i].emit("c2v", nxt)
+        return [self.cost(item) for item in items]
+
     def cost(self, frame: _Frame) -> TaskCost:
         return TaskCost(
             self.params.modelled_edges * V2C_CYCLES_PER_EDGE / 256,
@@ -277,6 +375,27 @@ class ProbVarStage(Stage):
                 syndrome_ok=self.code.syndrome_ok(hard),
             )
         )
+
+    def execute_batch(self, items, ctxs):
+        idx = self.code.check_to_var
+        for indices in group_indices(
+            items, lambda it: it.c2v.shape
+        ).values():
+            llr = np.stack([items[i].llr for i in indices])
+            c2v = np.stack([items[i].c2v for i in indices])
+            totals = _stacked_totals(llr, c2v, idx, self.code.n_bits)
+            hard = (totals < 0).astype(np.uint8)
+            for row, i in enumerate(indices):
+                frame = items[i]
+                ctxs[i].emit_output(
+                    DecodedFrame(
+                        frame_id=frame.frame_id,
+                        bits=hard[row],
+                        iterations=frame.iteration,
+                        syndrome_ok=self.code.syndrome_ok(hard[row]),
+                    )
+                )
+        return [self.cost(item) for item in items]
 
     def cost(self, frame: _Frame) -> TaskCost:
         return TaskCost(

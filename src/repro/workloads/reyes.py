@@ -134,6 +134,17 @@ def screen_bound(control: np.ndarray, params: ReyesParams) -> tuple[float, float
     )
 
 
+def _screen_bounds_batch(
+    screen: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-patch (widths, heights) from projected control points (B, 4, 4, 2);
+    the per-patch max/min reductions match :func:`screen_bound` exactly."""
+    spans = screen.reshape(screen.shape[0], -1, 2)
+    widths = spans[:, :, 0].max(axis=1) - spans[:, :, 0].min(axis=1)
+    heights = spans[:, :, 1].max(axis=1) - spans[:, :, 1].min(axis=1)
+    return widths, heights
+
+
 def split_axis(control: np.ndarray, params: ReyesParams) -> int:
     """Parametric axis with the longer projected extent.
 
@@ -176,11 +187,20 @@ def _bernstein(t: np.ndarray) -> np.ndarray:
 
 
 def evaluate_patch(control: np.ndarray, resolution: int) -> np.ndarray:
-    """Evaluate a bicubic patch on an (res+1) x (res+1) parameter grid."""
+    """Evaluate bicubic patches on an (res+1) x (res+1) parameter grid.
+
+    Accepts one (4, 4, 3) control mesh or a stacked (..., 4, 4, 3) batch.
+    The tensor contraction is written as two stacked matmuls — gufuncs
+    over the leading axes — so evaluating a batch is bit-identical to
+    per-patch calls (einsum picks size-dependent contraction kernels).
+    """
     t = np.linspace(0.0, 1.0, resolution + 1)
-    bu = _bernstein(t)  # (n, 4)
-    bv = _bernstein(t)
-    return np.einsum("ua,vb,abk->uvk", bu, bv, control)
+    basis = _bernstein(t)  # (n, 4)
+    # Contract the u axis: (n, 4) @ (..., 4, 12) -> (..., n, 4, 3).
+    tmp = basis @ control.reshape(*control.shape[:-3], 4, 12)
+    tmp = tmp.reshape(*tmp.shape[:-1], 4, 3)
+    # Contract the v axis per u row: points[..., u, v, k].
+    return basis @ tmp
 
 
 class SplitStage(Stage):
@@ -216,6 +236,40 @@ class SplitStage(Stage):
                 )
         else:
             ctx.emit("dice", item)
+
+    def execute_batch(self, items, ctxs):
+        screen = project(np.stack([it.control for it in items]), self.params)
+        widths, heights = _screen_bounds_batch(screen)
+        len_u = (
+            np.linalg.norm(np.diff(screen, axis=1), axis=-1)
+            .sum(axis=1)
+            .max(axis=1)
+        )
+        len_v = (
+            np.linalg.norm(np.diff(screen, axis=2), axis=-1)
+            .sum(axis=2)
+            .max(axis=1)
+        )
+        for i, (item, ctx) in enumerate(zip(items, ctxs)):
+            if (
+                max(float(widths[i]), float(heights[i]))
+                > self.params.split_threshold
+                and item.depth < self.params.max_split_depth
+            ):
+                axis = 0 if len_u[i] >= len_v[i] else 1
+                left, right = _decasteljau_split(item.control, axis)
+                for tag, child in (("0", left), ("1", right)):
+                    ctx.emit(
+                        "split",
+                        _PatchItem(
+                            patch_id=f"{item.patch_id}{tag}",
+                            control=child,
+                            depth=item.depth + 1,
+                        ),
+                    )
+            else:
+                ctx.emit("dice", item)
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _PatchItem) -> TaskCost:
         # Deeper patches project smaller, but bounding/subdivision work is
@@ -253,6 +307,23 @@ class DiceStage(Stage):
                 screen_bound=max(bw, bh),
             ),
         )
+
+    def execute_batch(self, items, ctxs):
+        controls = np.stack([it.control for it in items])
+        points = evaluate_patch(controls, self.params.grid)
+        widths, heights = _screen_bounds_batch(
+            project(controls, self.params)
+        )
+        for i, (item, ctx) in enumerate(zip(items, ctxs)):
+            ctx.emit(
+                "shade",
+                _GridItem(
+                    patch_id=item.patch_id,
+                    points=points[i],
+                    screen_bound=max(float(widths[i]), float(heights[i])),
+                ),
+            )
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _PatchItem) -> TaskCost:
         n_points = (self.params.grid + 1) ** 2
@@ -297,6 +368,34 @@ class ShadeStage(Stage):
                 mean_depth=float(np.mean(centers[..., 2])),
             )
         )
+
+    def execute_batch(self, items, ctxs):
+        pts = np.stack([it.points for it in items])
+        du = pts[:, 1:, :-1] - pts[:, :-1, :-1]
+        dv = pts[:, :-1, 1:] - pts[:, :-1, :-1]
+        normals = np.cross(du, dv)
+        norm = np.linalg.norm(normals, axis=-1, keepdims=True)
+        normals = normals / np.maximum(norm, 1e-9)
+        light = np.array([0.4, 0.5, -0.77])
+        lambert = np.abs(normals @ light)
+        centers = (pts[:, 1:, 1:] + pts[:, :-1, :-1]) / 2
+        n_mp = lambert.shape[1] * lambert.shape[2]
+        # The means stay per-item: a stacked np.mean(axis=(1, 2)) picks a
+        # different pairwise-summation tree and drifts by an ULP.
+        for i, (item, ctx) in enumerate(zip(items, ctxs)):
+            ctx.emit_output(
+                ShadedGrid(
+                    patch_id=item.patch_id,
+                    num_micropolygons=n_mp,
+                    mean_color=(
+                        float(np.mean(0.9 * lambert[i])),
+                        float(np.mean(0.7 * lambert[i])),
+                        float(np.mean(0.4 * lambert[i])),
+                    ),
+                    mean_depth=float(np.mean(centers[i][..., 2])),
+                )
+            )
+        return [self.cost(item) for item in items]
 
     def cost(self, item: _GridItem) -> TaskCost:
         n_mp = self.params.grid**2

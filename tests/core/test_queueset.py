@@ -5,6 +5,7 @@ import pytest
 from repro.core import FunctionalExecutor
 from repro.core.errors import ConfigurationError
 from repro.core.models import MegakernelModel
+from repro.core.queues import queue_op_cost
 from repro.core.queueset import (
     HOST_SHARD,
     DistributedQueueSet,
@@ -132,3 +133,49 @@ class TestDistributedEndToEnd:
         first = self.run_mode("distributed")
         second = self.run_mode("distributed")
         assert first.time_ms == second.time_ms
+
+
+class TestQueueCostAccounting:
+    """Pin the cost accounting the batch-drain path depends on.
+
+    Coalesced drains pop a block's worth of same-stage items in one queue
+    operation; these tests freeze the amortisation formula and the
+    shared-queue push-cost memo so batching can never silently change
+    what a queue op charges.
+    """
+
+    def test_push_cost_memo_tracks_contention(self):
+        qs = SharedQueueSet(STAGES, K20C)
+        calm = qs.push("a", "x", None)
+        # Memo hit: identical cost while the contention level is stable.
+        assert qs.push("a", "y", None) == calm
+        qs.contention_level = 8.0
+        contended = qs.push("a", "z", None)
+        assert contended == calm + K20C.queue_contention_cycles * 8.0
+        # Dropping back must rebuild the memo, not serve the stale entry.
+        qs.contention_level = 0.0
+        assert qs.push("a", "w", None) == calm
+
+    def test_batch_pop_amortises_fixed_cost(self):
+        qs = SharedQueueSet(STAGES, K20C)
+        for index in range(6):
+            qs.push("b", index, None)
+        batch, cost = qs.pop("b", 6, sm_id=0)
+        assert len(batch) == 6
+        # One op moving six items: fixed cost paid once, bytes per item.
+        assert cost == queue_op_cost(K20C, STAGES["b"], 6, 0.0)
+        assert cost < 6 * queue_op_cost(K20C, STAGES["b"], 1, 0.0)
+
+    def test_drain_clears_depth_ledger(self):
+        qs = SharedQueueSet(STAGES, K20C)
+        for index in range(4):
+            qs.push("a", index, None)
+        assert qs.backlog("a") == 4
+        assert len(qs.drain("a")) == 4
+        assert qs.backlog("a") == 0
+
+    def test_distributed_push_sees_no_contention(self):
+        qs = DistributedQueueSet(STAGES, K20C)
+        qs.contention_level = 8.0
+        cost = qs.push("a", "x", producer_sm=2)
+        assert cost == queue_op_cost(K20C, STAGES["a"], 1, 0.0)

@@ -190,3 +190,37 @@ class TestParser:
     def test_bad_model_choice_errors(self):
         with pytest.raises(SystemExit):
             main(["run", "reyes", "--model", "warpdrive"])
+
+
+class TestBatchingFlags:
+    def test_batch_size_accepted_everywhere(self, capsys):
+        code, _ = run_cli(capsys, "run", "ldpc", "--batch-size", "1")
+        assert code == 0
+        code, _ = run_cli(capsys, "compare", "ldpc", "--batch-size", "4")
+        assert code == 0
+
+    def test_batch_size_preserves_schedule(self, capsys):
+        _, scalar = run_cli(
+            capsys, "run", "reyes", "--batch-size", "1",
+            "--no-replay-cache",
+        )
+        _, batched = run_cli(capsys, "run", "reyes")
+        assert scalar == batched
+
+    def test_stats_reports_batching_line(self, capsys):
+        code, out = run_cli(capsys, "stats", "ldpc")
+        assert code == 0
+        assert "batching: batch-size=unlimited" in out
+        assert "replay cache: on" in out
+
+    def test_stats_reports_cache_disabled(self, capsys):
+        code, out = run_cli(capsys, "stats", "ldpc", "--no-replay-cache")
+        assert code == 0
+        assert "replay cache: off (--no-replay-cache)" in out
+
+    def test_no_replay_cache_same_output(self, capsys):
+        _, cached = run_cli(capsys, "compare", "ldpc")
+        _, uncached = run_cli(
+            capsys, "compare", "ldpc", "--no-replay-cache"
+        )
+        assert cached == uncached
