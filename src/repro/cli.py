@@ -6,6 +6,8 @@ Commands:
 * ``run`` — run one workload under one execution model on one device;
 * ``compare`` — baseline vs megakernel vs VersaPipe for a workload
   (one Table 2 row);
+* ``bench`` — the full evaluation suite (workload × column × device)
+  fanned across a process pool, rendered as Figure 11 per device;
 * ``tune`` — profile a workload and run the offline auto-tuner;
 * ``timeline`` — run with tracing and print the SM Gantt chart;
 * ``stats`` — run with the observer attached and print the derived
@@ -27,6 +29,13 @@ path), and ``--no-replay-cache`` disables the compute-once/simulate-many
 trace reuse that otherwise lets ``compare`` run the stage code only once
 across its three models.  Both paths are schedule-preserving: the
 simulated results are bit-identical whichever knobs are set.
+
+Two more knobs scale the multi-cell commands (see ``docs/harness.md``):
+``--workers N`` fans independent experiment cells across worker
+processes (byte-identical results for any count), and
+``--trace-cache-dir [PATH]`` layers a persistent on-disk store under the
+replay cache so workers — and later invocations — share recorded traces
+instead of re-running stage code.
 """
 
 from __future__ import annotations
@@ -50,8 +59,8 @@ from .core.tuner.offline import TunerOptions
 from .gpu.device import GPUDevice
 from .gpu.specs import PRESETS, get_spec
 from .gpu.tracing import render_timeline
-from .harness.runner import execute_model
-from .harness.tracecache import TraceCache
+from .harness.runner import execute_model, run_workload_models
+from .harness.tracecache import DEFAULT_TRACE_CACHE_DIR, TraceCache
 from .obs import Observer, RunReport, write_report_json
 from .workloads.registry import all_workloads, get_workload
 
@@ -65,6 +74,21 @@ _MODEL_CHOICES = (
     "dynamic_parallelism",
     "baseline",
 )
+
+
+def _positive_int(text):
+    """Argparse type for ``--batch-size`` / ``--workers``: an int >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer (>= 1), got {value}"
+        )
+    return value
 
 
 def _params(spec, args):
@@ -101,8 +125,10 @@ def _exec_options(args):
     code for every model.
     """
     batch_size = getattr(args, "batch_size", None)
-    cache = None if getattr(args, "no_replay_cache", False) else TraceCache()
-    return batch_size, cache
+    if getattr(args, "no_replay_cache", False):
+        return batch_size, None
+    disk_dir = getattr(args, "trace_cache_dir", None)
+    return batch_size, TraceCache(disk_dir=disk_dir)
 
 
 def _run_once(
@@ -114,10 +140,13 @@ def _run_once(
     device = GPUDevice(gpu)
     tracer = device.enable_tracing() if trace else None
     observer = Observer().attach(device) if observe else None
+    before = cache.stats() if cache is not None else None
     result, _replayed = execute_model(
         spec, pipeline, model, device, params,
         batch_size=batch_size, cache=cache,
     )
+    if cache is not None:
+        cache.last_run = cache.stats() - before
     spec.check_outputs(params, result.outputs)
     if observer is not None:
         observer.finalize(
@@ -188,6 +217,48 @@ def _sibling_path(path: str, tag: str) -> str:
     return f"{root}.{tag}{ext or '.json'}"
 
 
+def _write_compare_report(args, gpu, reports) -> None:
+    payload = {
+        "workload": args.workload,
+        "device": gpu.name,
+        "models": {
+            name: report.to_dict() for name, report in reports.items()
+        },
+        "aggregate": RunReport.aggregate(
+            reports.values(),
+            label=f"{args.workload}/{gpu.name}",
+        ).to_dict(),
+    }
+    with open(args.report_json, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(f"wrote report: {args.report_json}")
+
+
+def _compare_with_traces(args, spec, gpu, params, batch_size, cache) -> int:
+    """The per-model serial path kept for ``--trace-out`` (one observer —
+    and so one exported trace — per model)."""
+    rows = []
+    reports = {}
+    for model_name in ("baseline", "megakernel", "versapipe"):
+        result, _, observer = _run_once(
+            spec, model_name, gpu, params, observe=True,
+            batch_size=batch_size, cache=cache,
+        )
+        rows.append((model_name, result.time_ms))
+        print(f"  {model_name:12s} {result.time_ms:10.3f} ms")
+        reports[model_name] = result.report
+        path = _sibling_path(args.trace_out, model_name)
+        observer.write_trace(path, label=result.report.label)
+        print(f"  wrote trace: {path}")
+    base = rows[0][1]
+    for model_name, time_ms in rows[1:]:
+        print(f"  -> {model_name} speedup over baseline: "
+              f"{base / time_ms:.2f}x")
+    if args.report_json:
+        _write_compare_report(args, gpu, reports)
+    return 0
+
+
 def cmd_compare(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
@@ -196,40 +267,38 @@ def cmd_compare(args) -> int:
     batch_size, cache = _exec_options(args)
     print(f"{args.workload} on {gpu.name} "
           f"({'paper-scale' if args.full else 'quick'} parameters):")
-    rows = []
-    reports = {}
-    for model_name in ("baseline", "megakernel", "versapipe"):
-        result, _, observer = _run_once(
-            spec, model_name, gpu, params, observe=observe,
-            batch_size=batch_size, cache=cache,
-        )
-        rows.append((model_name, result.time_ms))
-        print(f"  {model_name:12s} {result.time_ms:10.3f} ms")
-        if observer is not None:
-            reports[model_name] = result.report
-            if args.trace_out:
-                path = _sibling_path(args.trace_out, model_name)
-                observer.write_trace(path, label=result.report.label)
-                print(f"  wrote trace: {path}")
+    if args.trace_out:
+        return _compare_with_traces(args, spec, gpu, params, batch_size, cache)
+    cells = run_workload_models(
+        spec.name,
+        gpu,
+        params,
+        observe=observe,
+        batch_size=batch_size,
+        cache=cache,
+        workers=args.workers,
+    )
+    rows = [(name, cell.time_ms) for name, cell in cells.items()]
+    for name, time_ms in rows:
+        print(f"  {name:12s} {time_ms:10.3f} ms")
     base = rows[0][1]
-    for model_name, time_ms in rows[1:]:
-        print(f"  -> {model_name} speedup over baseline: "
-              f"{base / time_ms:.2f}x")
+    for name, time_ms in rows[1:]:
+        print(f"  -> {name} speedup over baseline: {base / time_ms:.2f}x")
+    parallel = args.workers is not None and args.workers > 1
+    if cache is not None and cache.last_run is not None and (
+        parallel or cache.disk is not None
+    ):
+        print(
+            f"  (workers={args.workers or 1}; trace cache: "
+            f"{cache.last_run.describe()})"
+        )
     if args.report_json:
-        payload = {
-            "workload": args.workload,
-            "device": gpu.name,
-            "models": {
-                name: report.to_dict() for name, report in reports.items()
-            },
-            "aggregate": RunReport.aggregate(
-                reports.values(),
-                label=f"{args.workload}/{gpu.name}",
-            ).to_dict(),
+        reports = {
+            name: cell.result.report
+            for name, cell in cells.items()
+            if cell.result is not None and cell.result.report is not None
         }
-        with open(args.report_json, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-        print(f"wrote report: {args.report_json}")
+        _write_compare_report(args, gpu, reports)
     return 0
 
 
@@ -244,14 +313,16 @@ def cmd_stats(args) -> int:
     )
     print(result.report.summary_text())
     size = "unlimited" if batch_size is None else str(batch_size)
+    workers = getattr(args, "workers", None) or 1
     if cache is None:
         replay = "off (--no-replay-cache)"
     else:
-        replay = (
-            f"on ({len(cache)} trace(s), {cache.hits} hits / "
-            f"{cache.misses} misses)"
-        )
-    print(f"batching: batch-size={size}; replay cache: {replay}")
+        delta = cache.last_run if cache.last_run is not None else cache.stats()
+        replay = f"on ({len(cache)} trace(s), last run: {delta.describe()})"
+    print(
+        f"batching: batch-size={size}; workers={workers}; "
+        f"replay cache: {replay}"
+    )
     _write_outputs(args, observer, result)
     return 0
 
@@ -297,6 +368,47 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the evaluation suite across a worker pool and render Fig. 11."""
+    from .harness.pool import run_suite, suite_bench_payload
+    from .harness.tables import render_figure11
+
+    if args.device == "all":
+        devices = sorted(PRESETS)
+    else:
+        devices = [get_spec(args.device).name]
+    workloads = args.workloads or None
+    if workloads:
+        for name in workloads:
+            get_workload(name)  # fail fast on typos
+    suite = run_suite(
+        workloads=workloads,
+        devices=devices,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        cache_dir=args.trace_cache_dir,
+        replay_cache=not args.no_replay_cache,
+        full=args.full,
+    )
+    grouped = suite.by_device()
+    specs = all_workloads()
+    for device in devices:
+        print(render_figure11(grouped[device], specs, device))
+        print()
+    print(
+        f"suite: {len(suite.cells)} cells in {suite.wall_s:.2f}s wall "
+        f"(workers={suite.workers}; trace cache: "
+        f"{suite.cache_stats.describe()})"
+    )
+    if args.bench_json:
+        with open(args.bench_json, "w", encoding="utf-8") as fh:
+            json.dump(
+                suite_bench_payload(suite), fh, indent=2, sort_keys=True
+            )
+        print(f"wrote bench json: {args.bench_json}")
+    return 0
+
+
 def cmd_timeline(args) -> int:
     spec = get_workload(args.workload)
     gpu = get_spec(args.device)
@@ -326,19 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="show workloads, devices and models")
 
-    def add_common(p):
-        p.add_argument("workload", help="workload name (see `list`)")
-        p.add_argument(
-            "--device", default="K20c", help="GPU preset (default K20c)"
-        )
-        p.add_argument(
-            "--full",
-            action="store_true",
-            help="use paper-scale parameters instead of quick ones",
-        )
+    def add_exec_knobs(p, workers=True):
         p.add_argument(
             "--batch-size",
-            type=int,
+            type=_positive_int,
             default=None,
             metavar="N",
             help="cap items per Stage.execute_batch call (default: "
@@ -350,6 +453,39 @@ def build_parser() -> argparse.ArgumentParser:
             help="re-run stage code for every model instead of recording "
             "the task trace once and replaying it (default: cache on)",
         )
+        if workers:
+            p.add_argument(
+                "--workers",
+                type=_positive_int,
+                default=None,
+                metavar="N",
+                help="worker processes for multi-cell commands (compare/"
+                "bench fan cells across processes; results are "
+                "byte-identical for any count; default 1, bench: one "
+                "per core)",
+            )
+        p.add_argument(
+            "--trace-cache-dir",
+            metavar="PATH",
+            nargs="?",
+            const=DEFAULT_TRACE_CACHE_DIR,
+            default=None,
+            help="persistent on-disk trace cache shared across workers "
+            "and invocations; warm runs replay instead of executing "
+            f"stage code (default PATH: {DEFAULT_TRACE_CACHE_DIR})",
+        )
+
+    def add_common(p, workers=True):
+        p.add_argument("workload", help="workload name (see `list`)")
+        p.add_argument(
+            "--device", default="K20c", help="GPU preset (default K20c)"
+        )
+        p.add_argument(
+            "--full",
+            action="store_true",
+            help="use paper-scale parameters instead of quick ones",
+        )
+        add_exec_knobs(p, workers=workers)
 
     def add_obs(p):
         p.add_argument(
@@ -380,13 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs(compare)
 
     tune = sub.add_parser("tune", help="run the offline auto-tuner")
-    add_common(tune)
+    add_common(tune, workers=False)
     tune.add_argument(
         "--budget", type=int, default=80, help="max configurations to try"
     )
     tune.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="worker processes for the search (default: one per core; "
@@ -414,6 +550,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the tuner summary as JSON (default PATH: tuner.json)",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the evaluation suite (workload x column x device) "
+        "across a worker pool",
+    )
+    bench.add_argument(
+        "workloads",
+        nargs="*",
+        metavar="workload",
+        help="workloads to run (default: all six)",
+    )
+    bench.add_argument(
+        "--device",
+        default="K20c",
+        help='GPU preset, or "all" for every preset (default K20c)',
+    )
+    bench.add_argument(
+        "--full",
+        action="store_true",
+        help="use paper-scale parameters instead of quick ones",
+    )
+    add_exec_knobs(bench)
+    bench.add_argument(
+        "--bench-json",
+        metavar="PATH",
+        nargs="?",
+        const="BENCH_suite.json",
+        help="write the suite's deterministic per-cell results as JSON "
+        "(default PATH: BENCH_suite.json)",
+    )
+
     timeline = sub.add_parser(
         "timeline", help="run with tracing and print an SM Gantt chart"
     )
@@ -439,6 +606,7 @@ _COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "compare": cmd_compare,
+    "bench": cmd_bench,
     "tune": cmd_tune,
     "timeline": cmd_timeline,
     "stats": cmd_stats,

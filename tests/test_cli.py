@@ -211,7 +211,14 @@ class TestBatchingFlags:
         code, out = run_cli(capsys, "stats", "ldpc")
         assert code == 0
         assert "batching: batch-size=unlimited" in out
+        assert "workers=1" in out
         assert "replay cache: on" in out
+
+    def test_stats_reports_per_run_cache_numbers(self, capsys):
+        code, out = run_cli(capsys, "stats", "ldpc")
+        assert code == 0
+        # A fresh run records once and replays nothing.
+        assert "last run: 0 hits / 1 misses" in out
 
     def test_stats_reports_cache_disabled(self, capsys):
         code, out = run_cli(capsys, "stats", "ldpc", "--no-replay-cache")
@@ -224,3 +231,107 @@ class TestBatchingFlags:
             capsys, "compare", "ldpc", "--no-replay-cache"
         )
         assert cached == uncached
+
+
+class TestArgValidation:
+    """Zero/negative --batch-size and --workers are rejected up front."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "banana"])
+    @pytest.mark.parametrize("flag", ["--batch-size", "--workers"])
+    def test_bad_values_rejected(self, capsys, flag, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "ldpc", flag, value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err
+
+    def test_bench_and_compare_validate_too(self, capsys):
+        for argv in (
+            ["bench", "ldpc", "--workers", "0"],
+            ["compare", "ldpc", "--batch-size", "-1"],
+            ["tune", "ldpc", "--workers", "0"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+            capsys.readouterr()
+
+
+class TestBench:
+    def test_bench_renders_figure11_and_summary(self, capsys):
+        code, out = run_cli(
+            capsys, "bench", "ldpc", "reyes", "--workers", "2"
+        )
+        assert code == 0
+        assert "VP speedup" in out
+        assert "suite: 6 cells" in out
+        assert "workers=2" in out
+
+    def test_bench_warm_disk_cache_hits(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "traces")
+        argv = (
+            "bench", "ldpc", "reyes",
+            "--workers", "2", "--trace-cache-dir", cache_dir,
+        )
+        code, cold = run_cli(capsys, *argv)
+        assert code == 0
+        code, warm = run_cli(capsys, *argv)
+        assert code == 0
+        # Warm invocation replays from disk: no misses, >=1 disk hit.
+        assert "/ 0 misses" in warm
+        import re
+
+        assert re.search(r"disk: [1-9][0-9]* hits", warm)
+        # The simulated tables are identical cold vs warm.
+        table = lambda text: text.split("suite:")[0]  # noqa: E731
+        assert table(cold) == table(warm)
+
+    def test_bench_workers_byte_identical_tables(self, capsys, tmp_path):
+        _, serial = run_cli(capsys, "bench", "ldpc", "--workers", "1")
+        _, parallel = run_cli(capsys, "bench", "ldpc", "--workers", "4")
+        table = lambda text: text.split("suite:")[0]  # noqa: E731
+        assert table(serial) == table(parallel)
+
+    def test_bench_json_written(self, capsys, tmp_path):
+        path = tmp_path / "suite.json"
+        code, out = run_cli(
+            capsys, "bench", "ldpc", "--workers", "2",
+            "--bench-json", str(path),
+        )
+        assert code == 0
+        assert f"wrote bench json: {path}" in out
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"ldpc"}
+        assert set(payload["ldpc"]["K20c"]) == {
+            "baseline", "megakernel", "versapipe"
+        }
+        cell = payload["ldpc"]["K20c"]["versapipe"]
+        assert cell["time_ms"] > 0 and cell["cycles"] > 0
+        assert "replayed" not in cell
+
+    def test_bench_all_devices(self, capsys):
+        code, out = run_cli(
+            capsys, "bench", "ldpc", "--device", "all", "--workers", "2"
+        )
+        assert code == 0
+        assert "[K20c]" in out and "[GTX1080]" in out
+        assert "suite: 6 cells" in out
+
+    def test_bench_unknown_workload_raises(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "bench", "tetris")
+
+
+class TestCompareWorkers:
+    def test_compare_workers_matches_serial(self, capsys, tmp_path):
+        _, serial = run_cli(capsys, "compare", "ldpc")
+        _, parallel = run_cli(
+            capsys, "compare", "ldpc", "--workers", "4",
+            "--trace-cache-dir", str(tmp_path / "traces"),
+        )
+        # The parallel run appends a cache/worker summary line; the
+        # simulated rows above it are byte-identical.
+        assert parallel.startswith(serial.rstrip("\n").rsplit("\n", 1)[0])
+        for line in serial.splitlines():
+            if "ms" in line or "speedup" in line:
+                assert line in parallel
+        assert "workers=4" in parallel

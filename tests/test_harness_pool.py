@@ -1,0 +1,282 @@
+"""Parallel experiment harness: determinism, disk cache, per-run stats.
+
+The contract under test (docs/harness.md): fanning the evaluation grid
+across any number of worker processes — cold or warm, with or without the
+on-disk trace cache — produces byte-identical simulated results to the
+classic serial loop.
+"""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.harness.pool import (
+    COLUMNS,
+    CellTask,
+    plan_suite,
+    run_cells,
+    run_suite,
+    suite_bench_payload,
+)
+from repro.harness.runner import (
+    aggregate_reports,
+    run_versapipe,
+    run_workload_models,
+)
+from repro.harness.tracecache import (
+    TRACE_DISK_FORMAT_VERSION,
+    DiskTraceStore,
+    TraceCache,
+    TraceCacheStats,
+    workload_fingerprint,
+)
+from repro.workloads.registry import get_workload
+
+WORKLOADS = ["ldpc", "reyes"]
+
+
+def suite_json(result):
+    return json.dumps(suite_bench_payload(result), sort_keys=True)
+
+
+class TestPlan:
+    def test_canonical_order(self):
+        tasks = plan_suite(["b", "a"], devices=("K20c", "GTX1080"))
+        assert tasks[0] == CellTask("b", "baseline", "K20c")
+        assert [t.workload for t in tasks[:6]] == ["b"] * 6
+        assert [t.column for t in tasks[:3]] == list(COLUMNS)
+        assert tasks[3].device == "GTX1080"
+
+    def test_default_plan_covers_all_workloads(self):
+        tasks = plan_suite()
+        assert len(tasks) == 6 * 3
+        assert len({t.workload for t in tasks}) == 6
+
+
+class TestDeterminism:
+    """workers=N is byte-identical to workers=1 — the tentpole pin."""
+
+    @pytest.mark.parametrize("workers", [2, 3, 4])
+    def test_parallel_suite_matches_serial(self, workers):
+        serial = run_suite(workloads=WORKLOADS, workers=1, observe=True)
+        parallel = run_suite(
+            workloads=WORKLOADS, workers=workers, observe=True
+        )
+        assert suite_json(parallel) == suite_json(serial)
+
+    def test_parallel_merged_reports_match_serial(self):
+        # Two devices -> 12 observed cells, exercising the chunked
+        # (fixed fan-in) report reduction tree beyond one chunk.
+        devices = ("K20c", "GTX1080")
+        serial = run_suite(
+            workloads=WORKLOADS, devices=devices, workers=1, observe=True
+        )
+        parallel = run_suite(
+            workloads=WORKLOADS, devices=devices, workers=4, observe=True
+        )
+        assert suite_json(parallel) == suite_json(serial)
+        agg_serial = aggregate_reports(serial.cells).to_dict()
+        agg_parallel = aggregate_reports(parallel.cells, workers=4).to_dict()
+        assert json.dumps(agg_parallel, sort_keys=True) == json.dumps(
+            agg_serial, sort_keys=True
+        )
+
+    def test_parallel_with_shared_disk_cache_matches_serial(self, tmp_path):
+        serial = run_suite(workloads=WORKLOADS, workers=1, observe=True)
+        cold = run_suite(
+            workloads=WORKLOADS,
+            workers=4,
+            observe=True,
+            cache_dir=str(tmp_path / "traces"),
+        )
+        warm = run_suite(
+            workloads=WORKLOADS,
+            workers=4,
+            observe=True,
+            cache_dir=str(tmp_path / "traces"),
+        )
+        assert suite_json(cold) == suite_json(serial)
+        assert suite_json(warm) == suite_json(serial)
+        assert warm.cache_stats.disk_hits >= 1
+        assert warm.cache_stats.misses == 0
+
+    def test_run_workload_models_parallel_matches_serial(self, tmp_path):
+        spec = get_workload("ldpc")
+        params = spec.quick_params()
+        serial = run_workload_models("ldpc", params=params, workers=1)
+        parallel = run_workload_models(
+            "ldpc",
+            params=params,
+            workers=4,
+            cache_dir=str(tmp_path / "traces"),
+        )
+        for column in COLUMNS:
+            a, b = serial[column], parallel[column]
+            assert a.model == b.model
+            assert a.time_ms == b.time_ms
+            assert a.result.cycles == b.result.cycles
+            assert a.result.device_metrics.kernel_launches == (
+                b.result.device_metrics.kernel_launches
+            )
+            assert {
+                name: (s.tasks, s.items_emitted, s.busy_cycles)
+                for name, s in a.result.stage_stats.items()
+            } == {
+                name: (s.tasks, s.items_emitted, s.busy_cycles)
+                for name, s in b.result.stage_stats.items()
+            }
+
+    def test_run_versapipe_parallel_matches_serial(self):
+        spec = get_workload("reyes")
+        params = spec.quick_params()
+        serial = run_versapipe(spec, _k20c(), params, cache=TraceCache())
+        parallel = run_versapipe(
+            spec, _k20c(), params, cache=TraceCache(), workers=2
+        )
+        assert parallel.time_ms == serial.time_ms
+        assert parallel.result.cycles == serial.result.cycles
+
+    def test_workers_zero_rejected(self):
+        with pytest.raises(ValueError):
+            run_cells(plan_suite(WORKLOADS), workers=0)
+        with pytest.raises(ValueError):
+            run_workload_models("ldpc", workers=0)
+
+
+def _k20c():
+    from repro.gpu.specs import K20C
+
+    return K20C
+
+
+class TestDiskCache:
+    def _fingerprint(self, name="ldpc"):
+        spec = get_workload(name)
+        return spec, workload_fingerprint(spec, spec.quick_params())
+
+    def test_roundtrip_and_entry_count(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        spec = get_workload("ldpc")
+        params = spec.quick_params()
+        run_versapipe(spec, _k20c(), params, cache=cache)
+        assert cache.stores == 1
+        assert cache.disk.entry_count() == 1
+        # A fresh process-equivalent: new cache over the same directory.
+        fresh = TraceCache(disk_dir=str(tmp_path))
+        key = workload_fingerprint(spec, params)
+        assert fresh.get(key) is not None
+        assert fresh.disk_hits == 1 and fresh.misses == 0
+        # Now resident in memory too.
+        assert fresh.get(key) is not None
+        assert fresh.hits == 1
+
+    def test_corrupted_entry_recomputes_cleanly(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        spec = get_workload("ldpc")
+        params = spec.quick_params()
+        baseline = run_versapipe(spec, _k20c(), params, cache=cache)
+        key = workload_fingerprint(spec, params)
+        path = cache.disk.path_for(key)
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle at all")
+        fresh = TraceCache(disk_dir=str(tmp_path))
+        assert fresh.get(key) is None
+        assert fresh.misses == 1 and fresh.disk_misses == 1
+        again = run_versapipe(spec, _k20c(), params, cache=fresh)
+        assert again.time_ms == baseline.time_ms
+        assert again.result.cycles == baseline.result.cycles
+        # The recompute overwrote the corrupt entry with a good one.
+        assert TraceCache(disk_dir=str(tmp_path)).get(key) is not None
+
+    def test_stale_schema_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        spec = get_workload("ldpc")
+        params = spec.quick_params()
+        run_versapipe(spec, _k20c(), params, cache=cache)
+        key = workload_fingerprint(spec, params)
+        path = cache.disk.path_for(key)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["schema"] = -1
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        fresh = TraceCache(disk_dir=str(tmp_path))
+        assert fresh.get(key) is None
+
+    def test_stale_format_entry_is_a_miss(self, tmp_path):
+        store = DiskTraceStore(str(tmp_path))
+        spec, key = self._fingerprint()
+        cache = TraceCache(disk_dir=str(tmp_path))
+        run_versapipe(spec, _k20c(), spec.quick_params(), cache=cache)
+        with open(store.path_for(key), "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload["format"] == TRACE_DISK_FORMAT_VERSION
+        payload["format"] = TRACE_DISK_FORMAT_VERSION + 1
+        with open(store.path_for(key), "wb") as fh:
+            pickle.dump(payload, fh)
+        assert store.load(key) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        store = DiskTraceStore(str(tmp_path))
+        spec, key = self._fingerprint()
+        cache = TraceCache(disk_dir=str(tmp_path))
+        run_versapipe(spec, _k20c(), spec.quick_params(), cache=cache)
+        other = "ff" + key[2:]
+        os.makedirs(os.path.dirname(store.path_for(other)), exist_ok=True)
+        os.replace(store.path_for(key), store.path_for(other))
+        assert store.load(other) is None
+
+    def test_clear_disk_layer(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        spec = get_workload("ldpc")
+        run_versapipe(spec, _k20c(), spec.quick_params(), cache=cache)
+        assert cache.disk.entry_count() == 1
+        assert cache.disk.clear() == 1
+        assert cache.disk.entry_count() == 0
+
+    def test_memory_clear_keeps_disk(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        spec = get_workload("ldpc")
+        run_versapipe(spec, _k20c(), spec.quick_params(), cache=cache)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+        assert cache.disk.entry_count() == 1
+
+
+class TestPerRunStats:
+    """Satellite: stats report per-run deltas, not process-lifetime totals."""
+
+    def test_last_run_is_a_delta(self):
+        cache = TraceCache()
+        spec = get_workload("ldpc")
+        params = spec.quick_params()
+        run_versapipe(spec, _k20c(), params, cache=cache)
+        first = cache.last_run
+        assert first.misses == 1  # the recording run
+        run_versapipe(spec, _k20c(), params, cache=cache)
+        second = cache.last_run
+        # The second call replays everything: no misses leak over from
+        # the first call's counters.
+        assert second.misses == 0
+        assert second.hits >= 1
+        assert cache.misses == 1  # lifetime totals still accumulate
+
+    def test_run_workload_models_sets_last_run(self):
+        cache = TraceCache()
+        run_workload_models("ldpc", cache=cache)
+        assert cache.last_run is not None
+        assert cache.last_run.misses == 1
+        run_workload_models("ldpc", cache=cache)
+        assert cache.last_run.misses == 0
+        assert cache.last_run.hits >= 1
+
+    def test_stats_arithmetic(self):
+        a = TraceCacheStats(hits=5, misses=2, disk_hits=1, stores=3)
+        b = TraceCacheStats(hits=2, misses=1, disk_hits=1, stores=1)
+        assert (a - b).hits == 3 and (a - b).stores == 2
+        assert (a + b).misses == 3
+        assert a.total_hits == 6
+        assert "disk: 1 hits" in a.describe()
+        assert a.to_dict()["stores"] == 3
