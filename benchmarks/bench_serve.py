@@ -1,0 +1,85 @@
+"""Open-loop serving benchmark: deterministic tail latency under load.
+
+Serves three pipelines (static, dynamic and loop-structured) a seeded
+Poisson arrival stream and records the simulated latency distribution.
+Every gated metric is a *simulated* quantity — arrival schedules are
+seeded and the engine is deterministic — so ``BENCH_serve.json`` is
+byte-stable across machines and worker counts, and the CI gate
+(threshold 0.10, see ``scripts/check_bench.py``) catches any scheduling
+regression that moves the tail.
+
+The benchmark also pins the serving harness's determinism contract:
+sharding the cells across 2 workers must reproduce the serial reports
+byte for byte.
+"""
+
+import json
+import os
+
+from repro.serve import merge_serve_reports, plan_serve, run_serve_cells
+
+_BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serve.json",
+)
+
+_WORKLOADS = ("ldpc", "reyes", "face_detection")
+_ARRIVAL = "poisson:0.8"
+_DURATION_MS = 20.0
+_SLO_MS = 6.0
+_SEED = 42
+
+
+def _plan():
+    return plan_serve(
+        _WORKLOADS,
+        arrival_spec=_ARRIVAL,
+        duration_ms=_DURATION_MS,
+        slo_ms=_SLO_MS,
+        seed=_SEED,
+    )
+
+
+def test_serve_tail_latency(benchmark):
+    def measure():
+        serial = run_serve_cells(_plan(), workers=1)
+        sharded = run_serve_cells(_plan(), workers=2)
+        return serial, sharded
+
+    serial, sharded = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # The harness determinism contract: any worker count, same bytes.
+    assert [
+        json.dumps(r.payload(), sort_keys=True) for r in serial
+    ] == [json.dumps(r.payload(), sort_keys=True) for r in sharded]
+
+    merged = merge_serve_reports(serial)
+    print(f"\n=== Open-loop serving ({_ARRIVAL}, {_DURATION_MS:g} ms, "
+          f"SLO {_SLO_MS:g} ms) ===")
+    payload = {"serve": {}}
+    for report in serial:
+        lat = report.latency
+        print(
+            f"  {report.workload:16s} {report.completed:3d} req  "
+            f"p50={lat.percentile(50):7.3f}  p99={lat.percentile(99):7.3f}  "
+            f"p999={lat.percentile(99.9):7.3f} ms  "
+            f"attainment={report.slo.attainment * 100:5.1f}%"
+        )
+        assert report.completed == report.requests > 0
+        payload["serve"][report.workload] = {
+            "requests": report.requests,
+            "latency_p50_ms": lat.percentile(50),
+            "latency_p99_ms": lat.percentile(99),
+            "latency_p999_ms": lat.percentile(99.9),
+            "drain_elapsed_ms": report.elapsed_ms,
+            "goodput_per_ms": report.goodput_per_ms,
+            "slo_attainment": report.slo.attainment,
+        }
+    payload["serve"]["merged"] = {
+        "requests": merged.requests,
+        "latency_p50_ms": merged.latency.percentile(50),
+        "latency_p99_ms": merged.latency.percentile(99),
+        "latency_p999_ms": merged.latency.percentile(99.9),
+    }
+    with open(_BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

@@ -8,6 +8,10 @@ Commands:
   (one Table 2 row);
 * ``bench`` — the full evaluation suite (workload × column × device)
   fanned across a process pool, rendered as Figure 11 per device;
+* ``serve`` — open-loop serving: a timed arrival process (Poisson,
+  bursty or trace-driven) injects requests into a resident pipeline;
+  reports per-request tail latency (p50/p99/p999), per-stage wait and
+  service breakdowns, throughput/goodput windows and SLO attainment;
 * ``tune`` — profile a workload and run the offline auto-tuner;
 * ``timeline`` — run with tracing and print the SM Gantt chart;
 * ``stats`` — run with the observer attached and print the derived
@@ -89,6 +93,32 @@ def _positive_int(text):
             f"expected a positive integer (>= 1), got {value}"
         )
     return value
+
+
+def _positive_float(text):
+    """Argparse type for ``--duration`` / ``--slo-ms``: a float > 0."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number (> 0), got {text!r}"
+        )
+    return value
+
+
+def _arrival_spec(text):
+    """Argparse type for ``--arrival``: validate the spec, keep the string."""
+    from .serve import ArrivalSpecError, parse_arrival_spec
+
+    try:
+        parse_arrival_spec(text)
+    except ArrivalSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def _params(spec, args):
@@ -401,11 +431,85 @@ def cmd_bench(args) -> int:
         f"{suite.cache_stats.describe()})"
     )
     if args.bench_json:
+        from .serve.report import run_meta
+
+        payload = {
+            "meta": run_meta(
+                workers=suite.workers, cache_dir=args.trace_cache_dir
+            ),
+            "results": suite_bench_payload(suite),
+        }
         with open(args.bench_json, "w", encoding="utf-8") as fh:
-            json.dump(
-                suite_bench_payload(suite), fh, indent=2, sort_keys=True
-            )
+            json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"wrote bench json: {args.bench_json}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Open-loop serving: timed arrivals, tail latency, SLO accounting."""
+    from .serve import (
+        merge_serve_reports,
+        plan_serve,
+        run_meta,
+        run_serve_cells,
+        serve_workload,
+    )
+
+    for name in args.workloads:
+        get_workload(name)  # fail fast on typos
+    if args.trace_out and len(args.workloads) > 1:
+        print("error: --trace-out needs exactly one workload", file=sys.stderr)
+        return 2
+    plan = plan_serve(
+        args.workloads,
+        arrival_spec=args.arrival,
+        duration_ms=args.duration,
+        slo_ms=args.slo_ms,
+        model=args.model,
+        device=args.device,
+        seed=args.seed,
+        window_ms=args.window_ms,
+        full=args.full,
+        batch_size=args.batch_size,
+    )
+    workers = args.workers or 1
+    if args.trace_out:
+        # Event capture needs an in-process observer: run serially.
+        observer = Observer()
+        reports = [serve_workload(plan[0], observer=observer)]
+        observer.write_trace(args.trace_out, label=reports[0].label)
+    else:
+        observer = None
+        reports = run_serve_cells(plan, workers=workers)
+    for report in reports:
+        print("\n".join(report.summary_lines()))
+    merged = merge_serve_reports(reports, label="serve")
+    if len(reports) > 1:
+        print("merged:")
+        print("\n".join(merged.summary_lines()))
+    if args.trace_out:
+        print(f"wrote trace: {args.trace_out}")
+    if args.report_json:
+        meta = run_meta(
+            workers=workers,
+            cache_dir=None,
+            extra={
+                "arrival": args.arrival,
+                "seed": args.seed,
+                "traced": bool(args.trace_out),
+            },
+        )
+        payload = {
+            "meta": meta,
+            "cells": {
+                config.workload: report.payload()
+                for config, report in zip(plan, reports)
+            },
+            "merged": merged.payload(),
+        }
+        with open(args.report_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote report: {args.report_json}")
     return 0
 
 
@@ -581,6 +685,99 @@ def build_parser() -> argparse.ArgumentParser:
         "(default PATH: BENCH_suite.json)",
     )
 
+    from .serve import SERVE_MODELS
+
+    serve = sub.add_parser(
+        "serve",
+        help="open-loop serving: timed request arrivals, tail-latency "
+        "percentiles and SLO accounting (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "workloads",
+        nargs="+",
+        metavar="workload",
+        help="workloads to serve (one open-loop cell each)",
+    )
+    serve.add_argument(
+        "--arrival",
+        type=_arrival_spec,
+        default="poisson:0.5",
+        metavar="SPEC",
+        help="arrival process: poisson:RATE (req/ms), "
+        "burst:BASE,PEAK,DWELL (two-phase modulated Poisson) or "
+        "trace:FILE (recorded ms offsets); default poisson:0.5",
+    )
+    serve.add_argument(
+        "--duration",
+        type=_positive_float,
+        default=10.0,
+        metavar="MS",
+        help="arrival horizon in simulated ms (default 10)",
+    )
+    serve.add_argument(
+        "--slo-ms",
+        type=_positive_float,
+        default=5.0,
+        metavar="MS",
+        help="end-to-end latency budget for goodput accounting "
+        "(default 5)",
+    )
+    serve.add_argument(
+        "--model",
+        default="versapipe",
+        choices=SERVE_MODELS,
+        help="resident pipeline plan (default versapipe)",
+    )
+    serve.add_argument(
+        "--device", default="K20c", help="GPU preset (default K20c)"
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="arrival-schedule seed (default 0)",
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=_positive_float,
+        default=1.0,
+        metavar="MS",
+        help="throughput/goodput window width (default 1)",
+    )
+    serve.add_argument(
+        "--full",
+        action="store_true",
+        help="use paper-scale parameters instead of quick ones",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="cap items per Stage.execute_batch call (default: unlimited)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes (one serving cell per worker; reports are "
+        "byte-identical for any count; default 1)",
+    )
+    serve.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace.json with flow-linked "
+        "request spans (single workload only; forces a serial run)",
+    )
+    serve.add_argument(
+        "--report-json",
+        metavar="PATH",
+        nargs="?",
+        const="serve.json",
+        help="write the ServeReport(s) as JSON (default PATH: serve.json)",
+    )
+
     timeline = sub.add_parser(
         "timeline", help="run with tracing and print an SM Gantt chart"
     )
@@ -607,6 +804,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "bench": cmd_bench,
+    "serve": cmd_serve,
     "tune": cmd_tune,
     "timeline": cmd_timeline,
     "stats": cmd_stats,

@@ -387,7 +387,7 @@ class KBKGroupRunner:
             self.ctx.enqueue_children(children, producer_sm=None)
             self.ctx.add_outputs(outputs)
             self.ctx.note_stage_work(stage_name, len(items), busy)
-            self.ctx.complete_tasks(stage_name, len(items))
+            self.ctx.complete_tasks(stage_name, len(items), items=qitems)
             self._await_work()
 
         self.device.launch(

@@ -322,7 +322,7 @@ class PersistentGroupRunner:
             ctx.add_outputs(outputs)
             for tstage, count in per_stage_tasks.items():
                 ctx.note_stage_work(tstage, count, per_stage_cycles[tstage])
-            ctx.complete_tasks(stage_name, len(qitems))
+            ctx.complete_tasks(stage_name, len(qitems), items=qitems)
             device.note_residency()
         self._finished_blocks += 1
         if self._finished_blocks == self.total_blocks:

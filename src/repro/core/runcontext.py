@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..gpu.device import GPUDevice
 from .errors import ConfigurationError, ExecutionError
@@ -34,6 +34,9 @@ from .executor import Executor
 from .pipeline import Pipeline
 from .queues import QueueStats, queue_op_cost
 from .queueset import make_queue_set
+
+if TYPE_CHECKING:
+    from ..obs.spans import RequestTracker
 
 #: Task-scheduler policies (which stage's queue a block serves first).
 POLICIES = ("deepest_first", "fifo", "round_robin")
@@ -138,6 +141,11 @@ class RunContext:
         #: Callbacks fired when a quiescence change may have freed blocks
         #: (the online tuner subscribes here).
         self.quiescence_listeners: list[Callable[[], None]] = []
+        #: Optional per-request ledger (:class:`repro.obs.spans
+        #: .RequestTracker`), installed by the open-loop serving driver.
+        #: ``None`` for batch runs: every hook below is a single ``is
+        #: None`` test, so request tracing is zero-cost when off.
+        self.request_tracker: Optional[RequestTracker] = None
 
     # ------------------------------------------------------------------
     # Queue-contention knob (set by the engine from the launch plan).
@@ -174,6 +182,8 @@ class RunContext:
         self.total_outstanding += 1
         for watch in self._stage_watchers[stage]:
             watch.outstanding += 1
+        if self.request_tracker is not None:
+            self.request_tracker.note_enqueued(item, self.device.engine.now)
 
     def enqueue_children(
         self, children: Iterable[tuple[str, object]], producer_sm: Optional[int]
@@ -206,12 +216,21 @@ class RunContext:
                 remaining.append((stages, callback))
         self._peek_waiters = remaining
 
-    def complete_tasks(self, stage: str, n_items: int) -> None:
+    def complete_tasks(
+        self, stage: str, n_items: int, items: Optional[Sequence] = None
+    ) -> None:
         """Account for ``n_items`` finished *queued* items of ``stage``.
 
         Must be called *after* the tasks' children were enqueued, so the
         outstanding count never transiently reaches zero mid-flight.
+        ``items`` optionally passes the finished queued items themselves
+        so the request ledger (serving mode) can close their spans at
+        the completion timestamp.
         """
+        if self.request_tracker is not None and items is not None:
+            self.request_tracker.note_completed(
+                stage, items, self.device.engine.now
+            )
         if self.outstanding[stage] < n_items:
             raise ExecutionError(
                 f"stage {stage!r} completed more items than were outstanding"
@@ -221,6 +240,51 @@ class RunContext:
         for watch in self._stage_watchers[stage]:
             watch.outstanding -= n_items
         self._check_quiescence()
+
+    # ------------------------------------------------------------------
+    # Open-loop arrivals (serving mode).
+    # ------------------------------------------------------------------
+    def expect_arrivals(self, counts: dict[str, int]) -> None:
+        """Reserve outstanding-work slots for future open-loop arrivals.
+
+        The persistent blocks' exit condition is quiescence — zero
+        outstanding upstream work.  Under an open-loop arrival process
+        the queues legitimately run dry *between* requests, and without
+        reservations every block would exit at the first idle gap.  The
+        serving driver therefore pre-registers the full (deterministic)
+        arrival schedule here before the engine runs: each entry stage's
+        outstanding count is bumped by its total future arrivals, so the
+        pipeline only reaches quiescence once every reserved arrival has
+        been delivered *and* processed.
+        """
+        for stage, count in counts.items():
+            if stage not in self.outstanding:
+                raise ConfigurationError(
+                    f"cannot reserve arrivals for unknown stage {stage!r}"
+                )
+            if count < 0:
+                raise ConfigurationError(
+                    f"arrival reservation for {stage!r} must be >= 0"
+                )
+            self.outstanding[stage] += count
+            self.total_outstanding += count
+            for watch in self._stage_watchers[stage]:
+                watch.outstanding += count
+
+    def deliver_arrival(self, stage: str, item: object) -> None:
+        """Inject one previously reserved arrival into ``stage``'s queue.
+
+        The outstanding-work slot was already charged by
+        :meth:`expect_arrivals`, so this only pushes the item and wakes
+        any parked consumer — the open-loop counterpart of
+        :meth:`insert_initial` (the host-to-device copy is charged by
+        the serving driver, per request).
+        """
+        self.queue_set.push(stage, item, None)
+        if self.request_tracker is not None:
+            self.request_tracker.note_enqueued(item, self.device.engine.now)
+        self._wake_for(stage)
+        self._notify_peek_waiters((stage,))
 
     def note_stage_work(self, stage: str, tasks: int, busy_cycles: float) -> None:
         """Record executed tasks for per-stage statistics (includes tasks
@@ -366,6 +430,10 @@ class RunContext:
                 chosen, capacity_fn(chosen), sm_id
             )
             if batch:
+                if self.request_tracker is not None:
+                    self.request_tracker.note_dequeued(
+                        batch, self.device.engine.now
+                    )
                 self.device.engine.schedule(
                     0.0, lambda: resume((chosen, batch, cost))
                 )
@@ -401,7 +469,12 @@ class RunContext:
 
     def drain_stage(self, stage: str):
         """Remove and return every queued item of ``stage`` (KBK waves)."""
-        return self.queue_set.drain(stage)
+        drained = self.queue_set.drain(stage)
+        if self.request_tracker is not None and drained:
+            self.request_tracker.note_dequeued(
+                drained, self.device.engine.now
+            )
+        return drained
 
     def _wake_for(self, stage: str) -> None:
         """Hand newly arrived work to parked blocks watching ``stage``."""
@@ -416,6 +489,10 @@ class RunContext:
             )
             if not batch:
                 break
+            if self.request_tracker is not None:
+                self.request_tracker.note_dequeued(
+                    batch, self.device.engine.now
+                )
             waiter.cancelled = True
             woke_any = True
             resume = waiter.resume

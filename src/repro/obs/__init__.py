@@ -34,6 +34,7 @@ from .export import (
     write_chrome_trace,
     write_report_json,
 )
+from .hist import LogBucketHistogram, WindowSeries
 from .recorder import EventRecorder
 from .report import (
     LatencyHistogram,
@@ -43,6 +44,7 @@ from .report import (
     StageTaskStats,
     TunerStats,
 )
+from .spans import RequestItem, RequestSpan, RequestTracker
 
 
 class Observer:
@@ -108,14 +110,19 @@ __all__ = [
     "EventBus",
     "EventRecorder",
     "LatencyHistogram",
+    "LogBucketHistogram",
     "Observer",
     "QueueDepthSummary",
+    "RequestItem",
+    "RequestSpan",
+    "RequestTracker",
     "RunReport",
     "SMActivity",
     "StageTaskStats",
     "TunerEvaluation",
     "TunerSearchCompleted",
     "TunerStats",
+    "WindowSeries",
     "chrome_trace",
     "events_csv",
     "write_chrome_trace",

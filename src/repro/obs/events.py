@@ -241,6 +241,45 @@ class TunerSearchCompleted(Event):
     best_time_ms: float
 
 
+@dataclass(slots=True)
+class RequestArrived(Event):
+    """An open-loop request entered the pipeline (serving mode)."""
+
+    kind: ClassVar[str] = "req_arrive"
+
+    rid: int
+    stage: str
+
+
+@dataclass(slots=True)
+class RequestStageSpan(Event):
+    """One queued item of a request finished one stage visit.
+
+    ``t`` is the completion time (children enqueued, task accounted);
+    ``enqueue_t``/``dequeue_t`` bracket the item's queue wait, so the
+    visit decomposes into *queue wait* (``dequeue_t - enqueue_t``) and
+    *service* (``t - dequeue_t``).
+    """
+
+    kind: ClassVar[str] = "req_span"
+
+    rid: int
+    stage: str
+    enqueue_t: float
+    dequeue_t: float
+
+
+@dataclass(slots=True)
+class RequestCompleted(Event):
+    """The last in-flight item of a request completed end to end."""
+
+    kind: ClassVar[str] = "req_done"
+
+    rid: int
+    latency: float
+    visits: int
+
+
 #: Event classes in a stable order (used by exporters and docs).
 EVENT_TYPES = (
     KernelLaunched,
@@ -256,4 +295,7 @@ EVENT_TYPES = (
     GroupExited,
     TunerEvaluation,
     TunerSearchCompleted,
+    RequestArrived,
+    RequestStageSpan,
+    RequestCompleted,
 )

@@ -29,6 +29,12 @@ from typing import Optional, Sequence
 #: Synthetic pids for the non-SM tracks (far above any real SM count).
 QUEUES_PID = 10_000
 HOST_PID = 10_001
+REQUESTS_PID = 10_002
+
+#: Category of the request flow events (``ph: s/t/f``): each request's
+#: stage visits are chained by one flow whose id is the request id, so
+#: Perfetto draws arrows following the request across queue hops.
+REQUEST_FLOW_CAT = "request"
 
 
 def chrome_trace(
@@ -44,6 +50,9 @@ def chrome_trace(
     launch_ids: dict[int, int] = {}
     #: Open residency spans: block_id -> (sm_id, kernel, start).
     resident: dict[int, tuple[int, str, float]] = {}
+    #: Request ids with at least one emitted span (flow-start bookkeeping).
+    request_flows: set[int] = set()
+    seen_requests = False
 
     def tid_of(block_id: int) -> int:
         return block_tids.setdefault(block_id, len(block_tids))
@@ -155,6 +164,71 @@ def chrome_trace(
                     "args": {"bytes": event.num_bytes},
                 }
             )
+        elif kind == "req_arrive":
+            seen_requests = True
+            trace_events.append(
+                {
+                    "name": f"arrive:{event.stage}",
+                    "cat": "request",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": to_us(event.t),
+                    "pid": REQUESTS_PID,
+                    "tid": event.rid,
+                }
+            )
+        elif kind == "req_span":
+            # One slice per stage visit on the request's own track, plus
+            # a flow event chaining consecutive visits: "s" opens the
+            # flow on the request's first visit, "t" continues it on
+            # every later one.  The visit's queue wait is carried in
+            # args so Perfetto shows the wait/service split.
+            seen_requests = True
+            ts = to_us(event.dequeue_t)
+            trace_events.append(
+                {
+                    "name": event.stage,
+                    "cat": "request",
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": to_us(event.t - event.dequeue_t),
+                    "pid": REQUESTS_PID,
+                    "tid": event.rid,
+                    "args": {
+                        "request": event.rid,
+                        "queue_wait_us": to_us(
+                            event.dequeue_t - event.enqueue_t
+                        ),
+                    },
+                }
+            )
+            first = event.rid not in request_flows
+            request_flows.add(event.rid)
+            trace_events.append(
+                {
+                    "name": f"req:{event.rid}",
+                    "cat": REQUEST_FLOW_CAT,
+                    "ph": "s" if first else "t",
+                    "id": event.rid,
+                    "ts": ts,
+                    "pid": REQUESTS_PID,
+                    "tid": event.rid,
+                }
+            )
+        elif kind == "req_done":
+            seen_requests = True
+            trace_events.append(
+                {
+                    "name": f"req:{event.rid}",
+                    "cat": REQUEST_FLOW_CAT,
+                    "ph": "f",
+                    "bp": "e",
+                    "id": event.rid,
+                    "ts": to_us(event.t),
+                    "pid": REQUESTS_PID,
+                    "tid": event.rid,
+                }
+            )
         elif kind == "adaptation":
             trace_events.append(
                 {
@@ -211,6 +285,15 @@ def chrome_trace(
             "args": {"name": "host"},
         }
     )
+    if seen_requests:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": REQUESTS_PID,
+                "args": {"name": "requests"},
+            }
+        )
 
     return {
         "traceEvents": metadata + trace_events,

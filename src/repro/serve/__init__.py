@@ -1,0 +1,62 @@
+"""Open-loop serving mode: timed request injection + tail-latency SLOs.
+
+Batch mode answers "how fast does the pipeline chew through a fixed pile
+of work"; serving mode answers "what latency distribution do clients see
+when requests arrive on their own clock".  This package provides the
+arrival processes (:mod:`~repro.serve.arrivals`), the driver that
+injects them into a resident hybrid pipeline
+(:mod:`~repro.serve.driver`), the streaming report with deterministic
+tail percentiles and SLO accounting (:mod:`~repro.serve.report`,
+:mod:`~repro.serve.slo`), and the sharded multi-workload harness
+(:mod:`~repro.serve.harness`).  The CLI front end is ``repro serve``;
+see ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from .arrivals import (
+    ArrivalProcess,
+    ArrivalSpecError,
+    BurstArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    load_arrival_trace,
+    parse_arrival_spec,
+)
+from .driver import (
+    SERVE_MODELS,
+    RequestTaggingExecutor,
+    ServeConfig,
+    build_serve_plan,
+    serve_workload,
+)
+from .harness import plan_serve, run_serve_cells
+from .report import (
+    SERVE_SCHEMA_VERSION,
+    ServeReport,
+    merge_serve_reports,
+    run_meta,
+)
+from .slo import SLOTracker
+
+__all__ = [
+    "SERVE_MODELS",
+    "SERVE_SCHEMA_VERSION",
+    "ArrivalProcess",
+    "ArrivalSpecError",
+    "BurstArrivals",
+    "PoissonArrivals",
+    "RequestTaggingExecutor",
+    "SLOTracker",
+    "ServeConfig",
+    "ServeReport",
+    "TraceArrivals",
+    "build_serve_plan",
+    "load_arrival_trace",
+    "merge_serve_reports",
+    "parse_arrival_spec",
+    "plan_serve",
+    "run_meta",
+    "run_serve_cells",
+    "serve_workload",
+]

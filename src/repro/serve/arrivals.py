@@ -1,0 +1,195 @@
+"""Open-loop request arrival processes.
+
+An arrival process turns ``(duration, rng)`` into a sorted list of
+arrival offsets in milliseconds — decided *before* the simulation runs,
+never reacting to it.  That is what makes the serving mode *open loop*:
+the clients keep sending at their own pace whether or not the pipeline
+keeps up, so queueing delay shows up in the latency distribution instead
+of silently throttling the offered load (the coordinated-omission trap
+of closed-loop load generators).
+
+Three processes are provided, selected by a compact spec string:
+
+* ``poisson:RATE`` — memoryless arrivals at ``RATE`` requests/ms
+  (exponential inter-arrival gaps);
+* ``burst:BASE,PEAK,DWELL`` — a two-state modulated Poisson process that
+  alternates ``DWELL``-ms phases of ``BASE`` and ``PEAK`` requests/ms,
+  starting in the base phase (each phase draws its own exponential
+  gaps);
+* ``trace:FILE`` — replay recorded offsets from ``FILE`` (a JSON array
+  or one float per line, in ms; offsets past the horizon are dropped).
+
+All randomness flows through the caller's seeded :class:`random.Random`,
+so a given ``(spec, seed, duration)`` triple always produces the same
+schedule on every host.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+
+class ArrivalSpecError(ValueError):
+    """A malformed ``--arrival`` spec (bad grammar or non-positive rate)."""
+
+
+class ArrivalProcess:
+    """Base class: a deterministic generator of arrival offsets (ms)."""
+
+    def times(self, duration_ms: float, rng: random.Random) -> list[float]:
+        """Sorted arrival offsets in ``[0, duration_ms)``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Round-trippable spec string (recorded in report metadata)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_per_ms`` requests per millisecond."""
+
+    rate_per_ms: float
+
+    def times(self, duration_ms: float, rng: random.Random) -> list[float]:
+        offsets: list[float] = []
+        t = rng.expovariate(self.rate_per_ms)
+        while t < duration_ms:
+            offsets.append(t)
+            t += rng.expovariate(self.rate_per_ms)
+        return offsets
+
+    def describe(self) -> str:
+        return f"poisson:{self.rate_per_ms:g}"
+
+
+@dataclass(frozen=True)
+class BurstArrivals(ArrivalProcess):
+    """Two-state modulated Poisson process (base / peak phases).
+
+    The process spends ``dwell_ms`` in the base phase, then ``dwell_ms``
+    in the peak phase, and repeats; within a phase arrivals are Poisson
+    at that phase's rate (gaps restart at each phase boundary).
+    """
+
+    base_per_ms: float
+    peak_per_ms: float
+    dwell_ms: float
+
+    def times(self, duration_ms: float, rng: random.Random) -> list[float]:
+        offsets: list[float] = []
+        phase_start = 0.0
+        peak = False
+        while phase_start < duration_ms:
+            rate = self.peak_per_ms if peak else self.base_per_ms
+            phase_end = min(phase_start + self.dwell_ms, duration_ms)
+            t = phase_start + rng.expovariate(rate)
+            while t < phase_end:
+                offsets.append(t)
+                t += rng.expovariate(rate)
+            phase_start = phase_end
+            peak = not peak
+        return offsets
+
+    def describe(self) -> str:
+        return (
+            f"burst:{self.base_per_ms:g},{self.peak_per_ms:g},"
+            f"{self.dwell_ms:g}"
+        )
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replay a recorded arrival schedule (offsets in ms)."""
+
+    path: str
+    offsets: tuple[float, ...]
+
+    def times(self, duration_ms: float, rng: random.Random) -> list[float]:
+        return sorted(t for t in self.offsets if 0.0 <= t < duration_ms)
+
+    def describe(self) -> str:
+        return f"trace:{self.path}"
+
+
+def _positive_rate(text: str, what: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise ArrivalSpecError(
+            f"{what} must be a number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise ArrivalSpecError(f"{what} must be > 0, got {text!r}")
+    return value
+
+
+def load_arrival_trace(path: str) -> TraceArrivals:
+    """Read an arrival trace file: a JSON array or one offset per line."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ArrivalSpecError(f"cannot read arrival trace {path!r}: {exc}")
+    stripped = text.strip()
+    if not stripped:
+        raise ArrivalSpecError(f"arrival trace {path!r} is empty")
+    if stripped.startswith("["):
+        try:
+            raw = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise ArrivalSpecError(
+                f"arrival trace {path!r} is not valid JSON: {exc}"
+            ) from None
+    else:
+        raw = stripped.split()
+    offsets: list[float] = []
+    for entry in raw:
+        try:
+            value = float(entry)
+        except (TypeError, ValueError):
+            raise ArrivalSpecError(
+                f"arrival trace {path!r} has a non-numeric offset: {entry!r}"
+            ) from None
+        if value < 0:
+            raise ArrivalSpecError(
+                f"arrival trace {path!r} has a negative offset: {value}"
+            )
+        offsets.append(value)
+    return TraceArrivals(path=path, offsets=tuple(sorted(offsets)))
+
+
+def parse_arrival_spec(spec: str) -> ArrivalProcess:
+    """Parse ``poisson:RATE`` / ``burst:BASE,PEAK,DWELL`` / ``trace:FILE``.
+
+    Raises :class:`ArrivalSpecError` with a message naming the offending
+    field on any malformed input — the CLI maps that straight to an
+    ``argparse`` argument error.
+    """
+    kind, sep, rest = spec.partition(":")
+    if not sep or not rest:
+        raise ArrivalSpecError(
+            f"arrival spec {spec!r} must look like poisson:RATE, "
+            "burst:BASE,PEAK,DWELL or trace:FILE"
+        )
+    if kind == "poisson":
+        return PoissonArrivals(_positive_rate(rest, "poisson rate (req/ms)"))
+    if kind == "burst":
+        parts = rest.split(",")
+        if len(parts) != 3:
+            raise ArrivalSpecError(
+                f"burst spec {spec!r} needs BASE,PEAK,DWELL (got "
+                f"{len(parts)} field(s))"
+            )
+        return BurstArrivals(
+            base_per_ms=_positive_rate(parts[0], "burst base rate (req/ms)"),
+            peak_per_ms=_positive_rate(parts[1], "burst peak rate (req/ms)"),
+            dwell_ms=_positive_rate(parts[2], "burst dwell (ms)"),
+        )
+    if kind == "trace":
+        return load_arrival_trace(rest)
+    raise ArrivalSpecError(
+        f"unknown arrival process {kind!r}; choose poisson, burst or trace"
+    )

@@ -1,0 +1,297 @@
+"""The open-loop serving driver: inject timed requests into a pipeline.
+
+Batch runs hand the engine all of its work up front and measure the
+makespan.  Serving inverts that: a seeded arrival process decides *when*
+each request enters, the persistent pipeline stays resident across the
+idle gaps, and the measurement is the per-request latency distribution.
+
+Three pieces make that work on the unmodified execution engine:
+
+* **arrival reservations** — the full (deterministic) arrival count is
+  registered with :meth:`RunContext.expect_arrivals` before the engine
+  runs, so the quiescence detector never confuses "queues momentarily
+  empty" with "run over" (see the run-context docs);
+* **request tagging** — :class:`RequestTaggingExecutor` wraps every
+  in-flight payload in a :class:`~repro.obs.spans.RequestItem`, so each
+  task knows which request it descends from at O(1);
+* **request tracking** — a :class:`~repro.obs.spans.RequestTracker` on
+  the run context turns queue enqueue/dequeue/complete callbacks into
+  per-stage spans and end-to-end latencies, feeding a
+  :class:`~repro.serve.report.ServeReport` in deterministic engine
+  order.
+
+One request is one entry item (cycled round-robin from the workload's
+initial-item template) plus everything that item spawns downstream; it
+completes when its last descendant finishes.  The request's host-to-
+device input copy is charged to the device's host timeline at arrival.
+Output checking and the trace-replay cache are deliberately not used
+here — serving measures scheduling under load, and replay traces do not
+carry arrival timing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.config import GroupConfig, PipelineConfig
+from ..core.errors import ConfigurationError, ExecutionError
+from ..core.executor import ExecResult, Executor, FunctionalExecutor, InlineResult
+from ..core.models.hybrid import HybridEngine
+from ..core.models.sm_bound import default_fine_block_map, split_sms_proportionally
+from ..gpu.device import GPUDevice
+from ..gpu.specs import GPUSpec, get_spec
+from ..obs import Observer
+from ..obs.spans import RequestItem, RequestTracker
+from ..workloads.registry import WorkloadSpec, get_workload
+from .arrivals import ArrivalProcess, parse_arrival_spec
+from .report import ServeReport
+from .slo import SLOTracker
+
+#: Pipeline plans the serving driver can build.  The host-driven models
+#: (rtc/kbk standalone, dynamic parallelism, per-workload baselines)
+#: relaunch kernels per wave and do not keep the pipeline resident, so
+#: they cannot absorb open-loop arrivals.
+SERVE_MODELS = ("versapipe", "megakernel", "coarse", "fine")
+
+
+class RequestTaggingExecutor(Executor):
+    """Wraps an executor so every in-flight item carries its request id.
+
+    Tasks see the unwrapped payloads; children are re-wrapped with the
+    parent's request id before they re-enter the queues.  The wrapper
+    preserves the inner executor's costs, emissions and outputs exactly,
+    so the simulated schedule matches a batch run of the same items.
+    """
+
+    def __init__(self, inner: Executor) -> None:
+        super().__init__(inner.pipeline)
+        self.inner = inner
+        self.batch_size = getattr(inner, "batch_size", None)
+
+    def wrap_initial(self, stage: str, payload: object) -> object:
+        raise ExecutionError(
+            "serving runs inject work via RunContext.deliver_arrival, "
+            "not insert_initial"
+        )
+
+    def _rewrap(
+        self, rid: int, children: list[tuple[str, object]]
+    ) -> list[tuple[str, object]]:
+        return [
+            (target, RequestItem(rid, child)) for target, child in children
+        ]
+
+    def run_task(self, stage: str, item: RequestItem) -> ExecResult:
+        result = self.inner.run_task(stage, item.inner)
+        result.children = self._rewrap(item.rid, result.children)
+        return result
+
+    def run_batch(
+        self, stage: str, items: Sequence[RequestItem]
+    ) -> list[ExecResult]:
+        results = self.inner.run_batch(
+            stage, [item.inner for item in items]
+        )
+        for item, result in zip(items, results):
+            result.children = self._rewrap(item.rid, result.children)
+        return results
+
+    def run_inline(
+        self, stage: str, item: RequestItem, inline_set: frozenset[str]
+    ) -> InlineResult:
+        result = self.inner.run_inline(stage, item.inner, inline_set)
+        result.children = self._rewrap(item.rid, result.children)
+        return result
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one serving run needs (picklable for the harness)."""
+
+    workload: str
+    arrival_spec: str
+    duration_ms: float
+    slo_ms: float
+    model: str = "versapipe"
+    device: str = "k20c"
+    seed: int = 0
+    window_ms: float = 1.0
+    full: bool = False
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.model not in SERVE_MODELS:
+            raise ConfigurationError(
+                f"model {self.model!r} cannot serve open-loop arrivals; "
+                f"choose from {SERVE_MODELS}"
+            )
+        if self.duration_ms <= 0:
+            raise ConfigurationError("duration_ms must be > 0")
+        if self.slo_ms <= 0:
+            raise ConfigurationError("slo_ms must be > 0")
+
+
+def build_serve_plan(
+    spec: WorkloadSpec, pipeline, gpu: GPUSpec, params: object, model: str
+) -> PipelineConfig:
+    """The resident :class:`PipelineConfig` for one serve model name."""
+    all_sms = tuple(range(gpu.num_sms))
+    stages = tuple(pipeline.stage_names)
+    if model == "versapipe":
+        described = spec.versapipe_config(pipeline, gpu, params)
+        return PipelineConfig(
+            groups=described.groups,
+            policy=described.policy,
+            online_adaptation=False,
+        )
+    if model == "megakernel":
+        groups = (
+            GroupConfig(stages=stages, model="megakernel", sm_ids=all_sms),
+        )
+    elif model == "coarse":
+        assignment = split_sms_proportionally(gpu.num_sms, stages, None)
+        groups = tuple(
+            GroupConfig(
+                stages=(stage,),
+                model="megakernel",
+                sm_ids=assignment[stage],
+            )
+            for stage in stages
+        )
+    elif model == "fine":
+        groups = (
+            GroupConfig(
+                stages=stages,
+                model="fine",
+                sm_ids=all_sms,
+                block_map=default_fine_block_map(pipeline, gpu, stages),
+            ),
+        )
+    else:
+        raise ConfigurationError(
+            f"model {model!r} cannot serve open-loop arrivals; choose "
+            f"from {SERVE_MODELS}"
+        )
+    return PipelineConfig(groups=groups)
+
+
+def _entry_template(spec: WorkloadSpec, params: object) -> list[tuple[str, object]]:
+    """Flatten the workload's initial items into a request template."""
+    template: list[tuple[str, object]] = []
+    for stage, payloads in spec.initial_items(params).items():
+        for payload in payloads:
+            template.append((stage, payload))
+    if not template:
+        raise ConfigurationError(
+            f"workload {spec.name!r} has no initial items to serve"
+        )
+    return template
+
+
+def serve_workload(
+    config: ServeConfig,
+    observer: Optional[Observer] = None,
+    arrival: Optional[ArrivalProcess] = None,
+) -> ServeReport:
+    """Run one open-loop serving cell and return its report.
+
+    Deterministic: the arrival schedule is drawn from a
+    ``random.Random(seed)`` before the engine starts, and the report's
+    histograms accumulate in engine-event order — the same
+    :class:`ServeConfig` always produces a byte-identical
+    :meth:`ServeReport.payload`.  Pass an :class:`~repro.obs.Observer`
+    to also capture the flow-linked Chrome trace.
+    """
+    spec = get_workload(config.workload)
+    gpu = get_spec(config.device)
+    params = spec.default_params() if config.full else spec.quick_params()
+    pipeline = spec.build_pipeline(params)
+    if arrival is None:
+        arrival = parse_arrival_spec(config.arrival_spec)
+
+    device = GPUDevice(gpu)
+    if observer is not None:
+        observer.attach(device)
+    executor = RequestTaggingExecutor(
+        FunctionalExecutor(pipeline, batch_size=config.batch_size)
+    )
+    plan = build_serve_plan(spec, pipeline, gpu, params, config.model)
+    engine = HybridEngine(pipeline, device, executor, plan)
+
+    report = ServeReport(
+        label=f"{spec.name}/{config.model}/{gpu.name}",
+        workload=spec.name,
+        model=config.model,
+        device=gpu.name,
+        arrival=arrival.describe(),
+        duration_ms=config.duration_ms,
+        window_ms=config.window_ms,
+        arrivals=_window(config.window_ms),
+        completions=_window(config.window_ms),
+        good_completions=_window(config.window_ms),
+        slo=SLOTracker(slo_ms=config.slo_ms),
+    )
+    cycles_to_ms = gpu.cycles_to_ms
+
+    def on_visit(stage: str, wait_cycles: float, service_cycles: float) -> None:
+        report.observe_visit(
+            stage, cycles_to_ms(wait_cycles), cycles_to_ms(service_cycles)
+        )
+
+    def on_complete(span) -> None:
+        report.observe_complete(
+            cycles_to_ms(span.latency_cycles),
+            cycles_to_ms(span.completion_t),
+        )
+
+    tracker = RequestTracker(
+        bus=device.obs, on_visit=on_visit, on_complete=on_complete
+    )
+    engine.ctx.request_tracker = tracker
+
+    rng = random.Random(config.seed)
+    times_ms = arrival.times(config.duration_ms, rng)
+    template = _entry_template(spec, params)
+    stage_bytes = {
+        stage: pipeline.stage(stage).item_bytes for stage, _ in template
+    }
+
+    counts: dict[str, int] = {}
+    for rid in range(len(times_ms)):
+        stage, _ = template[rid % len(template)]
+        counts[stage] = counts.get(stage, 0) + 1
+    engine.ctx.expect_arrivals(counts)
+
+    def make_fire(rid: int, t_ms: float):
+        stage, payload = template[rid % len(template)]
+
+        def fire() -> None:
+            device.memcpy_h2d(stage_bytes[stage])
+            now = device.engine.now
+            tracker.begin(rid, stage, now)
+            report.observe_arrival(cycles_to_ms(now))
+            engine.ctx.deliver_arrival(stage, RequestItem(rid, payload))
+
+        return fire
+
+    for rid, t_ms in enumerate(times_ms):
+        device.engine.schedule_at(
+            gpu.us_to_cycles(t_ms * 1000.0), make_fire(rid, t_ms)
+        )
+
+    engine.run({})
+    if tracker.in_flight:
+        raise ExecutionError(
+            f"{tracker.in_flight} request(s) never completed "
+            "(tracker/quiescence mismatch)"
+        )
+    report.elapsed_ms = device.elapsed_ms
+    return report
+
+
+def _window(window_ms: float):
+    from ..obs.hist import WindowSeries
+
+    return WindowSeries(window_ms=window_ms)

@@ -1,0 +1,85 @@
+"""Sharded serving harness: fan serving cells across worker processes.
+
+A serving *cell* is one :class:`~repro.serve.driver.ServeConfig` —
+typically one workload under one arrival process.  Cells are independent
+(each builds its own device, pipeline and arrival schedule), so they
+shard across processes exactly like the evaluation suite's cells
+(:mod:`repro.harness.pool`): deterministic stride shards, sequential
+execution inside each worker, stride merge back into plan order.
+
+Determinism contract (pinned by ``tests/serve/test_serve_harness.py``):
+``run_serve_cells`` returns reports in plan order whose
+:meth:`~repro.serve.report.ServeReport.payload` dicts are byte-identical
+for any ``workers`` count, and :func:`~repro.serve.report
+.merge_serve_reports` folds them through a fixed fan-in tree whose shape
+depends only on the cell count — so the merged report is byte-identical
+too.  Workers run without an observer (event capture is a per-process
+side channel); ``repro serve --trace-out`` therefore forces the traced
+cell to run serially in-process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.tuner.pool import default_workers, map_shards, stride_shards
+from .driver import ServeConfig, serve_workload
+from .report import ServeReport
+
+
+def plan_serve(
+    workloads: Sequence[str],
+    arrival_spec: str,
+    duration_ms: float,
+    slo_ms: float,
+    model: str = "versapipe",
+    device: str = "k20c",
+    seed: int = 0,
+    window_ms: float = 1.0,
+    full: bool = False,
+    batch_size: Optional[int] = None,
+) -> list[ServeConfig]:
+    """The canonical serving plan: one cell per workload, in given order."""
+    return [
+        ServeConfig(
+            workload=name,
+            arrival_spec=arrival_spec,
+            duration_ms=duration_ms,
+            slo_ms=slo_ms,
+            model=model,
+            device=device,
+            seed=seed,
+            window_ms=window_ms,
+            full=full,
+            batch_size=batch_size,
+        )
+        for name in workloads
+    ]
+
+
+def _run_serve_shard(_payload: None, shard: list[ServeConfig]) -> list[ServeReport]:
+    return [serve_workload(config) for config in shard]
+
+
+def run_serve_cells(
+    configs: Sequence[ServeConfig],
+    workers: Optional[int] = None,
+) -> list[ServeReport]:
+    """Run every serving cell, fanned across ``workers`` processes.
+
+    Returns reports in plan order; any worker count produces
+    byte-identical report payloads because each cell simulates on its
+    own private device with its own seeded arrival schedule.
+    """
+    configs = list(configs)
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    shards = stride_shards(configs, workers)
+    shard_results = map_shards(_run_serve_shard, None, shards, workers)
+    count = len(shards)
+    merged: list[ServeReport] = [None] * len(configs)  # type: ignore[list-item]
+    for offset, reports in enumerate(shard_results):
+        merged[offset::count] = reports
+    return merged

@@ -1,0 +1,78 @@
+"""Service-level-objective accounting for serving runs.
+
+An SLO here is a single end-to-end latency budget in milliseconds.  The
+tracker classifies every completed request as *good* (latency within
+budget) or a *violation*, and remembers when the first violation
+completed — the "time to first violation" that tells you how long a
+burst can be absorbed before the tail breaches the objective.
+
+Trackers merge exactly (sums plus a ``min``), so the harness can shard
+serving cells across workers and fold the partial trackers back into
+numbers identical to a serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class SLOTracker:
+    """Good/violation accounting against one latency budget."""
+
+    slo_ms: float
+    good: int = 0
+    violations: int = 0
+    #: Completion time (ms) of the earliest violating request, if any.
+    first_violation_ms: Optional[float] = None
+
+    def observe(self, latency_ms: float, completed_at_ms: float) -> None:
+        if latency_ms <= self.slo_ms:
+            self.good += 1
+            return
+        self.violations += 1
+        if (
+            self.first_violation_ms is None
+            or completed_at_ms < self.first_violation_ms
+        ):
+            self.first_violation_ms = completed_at_ms
+
+    @property
+    def completed(self) -> int:
+        return self.good + self.violations
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of completed requests that met the budget."""
+        total = self.completed
+        return self.good / total if total else 1.0
+
+    def goodput_per_ms(self, duration_ms: float) -> float:
+        """Good completions per millisecond of serving time."""
+        if duration_ms <= 0:
+            return 0.0
+        return self.good / duration_ms
+
+    def merge(self, other: "SLOTracker") -> None:
+        if other.slo_ms != self.slo_ms and other.completed:
+            raise ValueError(
+                f"cannot merge SLOTracker with budget {other.slo_ms} ms "
+                f"into one with budget {self.slo_ms} ms"
+            )
+        self.good += other.good
+        self.violations += other.violations
+        if other.first_violation_ms is not None and (
+            self.first_violation_ms is None
+            or other.first_violation_ms < self.first_violation_ms
+        ):
+            self.first_violation_ms = other.first_violation_ms
+
+    def to_dict(self) -> dict:
+        return {
+            "slo_ms": self.slo_ms,
+            "good": self.good,
+            "violations": self.violations,
+            "attainment": self.attainment,
+            "first_violation_ms": self.first_violation_ms,
+        }

@@ -1,0 +1,95 @@
+"""Chrome-trace export of request spans: flow-linked across queue hops."""
+
+import json
+
+from repro.obs import Observer
+from repro.obs.export import REQUESTS_PID, chrome_trace
+from repro.serve import ServeConfig, serve_workload
+
+
+def _traced_run(tmp_path):
+    observer = Observer()
+    report = serve_workload(
+        ServeConfig(
+            workload="ldpc",
+            arrival_spec="poisson:0.5",
+            duration_ms=8.0,
+            slo_ms=5.0,
+            seed=2,
+        ),
+        observer=observer,
+    )
+    path = tmp_path / "serve_trace.json"
+    observer.write_trace(str(path), label="serve")
+    return report, json.loads(path.read_text())
+
+
+class TestRequestFlows:
+    def test_every_request_has_one_flow_chain(self, tmp_path):
+        report, trace = _traced_run(tmp_path)
+        flows = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("cat") == "request" and e.get("ph") in ("s", "t", "f")
+        ]
+        assert flows, "no flow events exported"
+        by_rid = {}
+        for event in flows:
+            by_rid.setdefault(event["id"], []).append(event)
+        assert len(by_rid) == report.completed
+        for rid, chain in by_rid.items():
+            chain.sort(key=lambda e: e["ts"])
+            phases = [e["ph"] for e in chain]
+            # One flow start, one binding end, steps in between.
+            assert phases[0] == "s", rid
+            assert phases[-1] == "f", rid
+            assert phases.count("s") == 1 and phases.count("f") == 1
+            assert all(ph == "t" for ph in phases[1:-1])
+            finish = chain[-1]
+            assert finish["bp"] == "e"
+
+    def test_request_spans_on_request_process(self, tmp_path):
+        report, trace = _traced_run(tmp_path)
+        slices = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("pid") == REQUESTS_PID and e.get("ph") == "X"
+        ]
+        assert slices
+        for event in slices:
+            assert event["dur"] >= 0
+            assert "queue_wait_us" in event["args"]
+            assert event["args"]["queue_wait_us"] >= 0
+        # One slice per completed stage visit.
+        visits = sum(h.count for h in report.stage_wait.values())
+        assert len(slices) == visits
+
+    def test_request_process_named(self, tmp_path):
+        _report, trace = _traced_run(tmp_path)
+        meta = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e.get("pid") == REQUESTS_PID
+        ]
+        assert any(e["args"]["name"] == "requests" for e in meta)
+
+    def test_arrival_instants_exported(self, tmp_path):
+        report, trace = _traced_run(tmp_path)
+        arrivals = [
+            e
+            for e in trace["traceEvents"]
+            if e.get("ph") == "i" and e.get("pid") == REQUESTS_PID
+        ]
+        assert len(arrivals) == report.requests
+
+    def test_batch_traces_unchanged(self):
+        # A batch (non-serving) trace has no request process at all.
+        trace = chrome_trace([], spec=_spec())
+        pids = {e.get("pid") for e in trace["traceEvents"]}
+        assert REQUESTS_PID not in pids
+
+
+def _spec():
+    from repro.gpu.specs import K20C
+
+    return K20C

@@ -300,11 +300,18 @@ class TestBench:
         assert code == 0
         assert f"wrote bench json: {path}" in out
         payload = json.loads(path.read_text())
-        assert set(payload) == {"ldpc"}
-        assert set(payload["ldpc"]["K20c"]) == {
+        assert set(payload) == {"meta", "results"}
+        meta = payload["meta"]
+        assert meta["schema_version"] >= 1
+        assert meta["workers"] == 2
+        assert meta["cpu_count"] >= 1
+        assert "cache_dir" in meta
+        results = payload["results"]
+        assert set(results) == {"ldpc"}
+        assert set(results["ldpc"]["K20c"]) == {
             "baseline", "megakernel", "versapipe"
         }
-        cell = payload["ldpc"]["K20c"]["versapipe"]
+        cell = results["ldpc"]["K20c"]["versapipe"]
         assert cell["time_ms"] > 0 and cell["cycles"] > 0
         assert "replayed" not in cell
 
@@ -319,6 +326,109 @@ class TestBench:
     def test_bench_unknown_workload_raises(self, capsys):
         with pytest.raises(KeyError):
             run_cli(capsys, "bench", "tetris")
+
+
+class TestServe:
+    def test_serve_smoke(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "ldpc",
+            "--arrival", "poisson:0.5", "--duration", "8",
+        )
+        assert code == 0
+        assert "serve ldpc/versapipe/K20c" in out
+        assert "p50=" in out and "p999=" in out
+        assert "goodput=" in out and "SLO" in out
+        assert "stage " in out
+
+    def test_serve_report_json_and_trace(self, capsys, tmp_path):
+        report_path = tmp_path / "serve.json"
+        trace_path = tmp_path / "serve_trace.json"
+        code, out = run_cli(
+            capsys, "serve", "ldpc",
+            "--arrival", "poisson:0.5", "--duration", "8",
+            "--report-json", str(report_path),
+            "--trace-out", str(trace_path),
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert set(payload) == {"meta", "cells", "merged"}
+        assert payload["meta"]["schema_version"] >= 1
+        assert payload["meta"]["cpu_count"] >= 1
+        cell = payload["cells"]["ldpc"]
+        assert cell["completed"] == cell["requests"] > 0
+        assert cell["latency"]["p99_ms"] >= cell["latency"]["p50_ms"] > 0
+        assert cell["slo"]["good"] + cell["slo"]["violations"] == (
+            cell["completed"]
+        )
+        trace = json.loads(trace_path.read_text())
+        phases = {
+            e.get("ph")
+            for e in trace["traceEvents"]
+            if e.get("cat") == "request"
+        }
+        assert {"s", "t", "f"} <= phases
+
+    def test_serve_workers_byte_identical_reports(self, capsys, tmp_path):
+        def non_meta(path):
+            payload = json.loads(path.read_text())
+            payload.pop("meta")
+            return json.dumps(payload, sort_keys=True)
+
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        argv = (
+            "serve", "ldpc", "reyes", "--arrival", "poisson:0.5",
+            "--duration", "6",
+        )
+        code, _ = run_cli(
+            capsys, *argv, "--workers", "1", "--report-json", str(serial)
+        )
+        assert code == 0
+        code, _ = run_cli(
+            capsys, *argv, "--workers", "3", "--report-json", str(parallel)
+        )
+        assert code == 0
+        assert non_meta(serial) == non_meta(parallel)
+
+    def test_serve_multi_workload_prints_merged(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "ldpc", "reyes", "--duration", "5",
+        )
+        assert code == 0
+        assert "merged:" in out
+
+    def test_serve_trace_out_single_workload_only(self, capsys, tmp_path):
+        code = main([
+            "serve", "ldpc", "reyes",
+            "--trace-out", str(tmp_path / "t.json"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "exactly one workload" in captured.err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ("serve", "ldpc", "--duration", "0"),
+            ("serve", "ldpc", "--duration", "-5"),
+            ("serve", "ldpc", "--slo-ms", "0"),
+            ("serve", "ldpc", "--window-ms", "nope"),
+            ("serve", "ldpc", "--arrival", "poisson:0"),
+            ("serve", "ldpc", "--arrival", "poisson:abc"),
+            ("serve", "ldpc", "--arrival", "burst:1,2"),
+            ("serve", "ldpc", "--arrival", "uniform:3"),
+            ("serve", "ldpc", "--workers", "0"),
+            ("serve", "ldpc", "--batch-size", "-1"),
+        ],
+    )
+    def test_serve_flag_validation(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(list(argv))
+        assert excinfo.value.code == 2
+
+    def test_serve_unknown_workload_raises(self, capsys):
+        with pytest.raises(KeyError):
+            run_cli(capsys, "serve", "tetris")
 
 
 class TestCompareWorkers:

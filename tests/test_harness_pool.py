@@ -83,6 +83,33 @@ class TestDeterminism:
             agg_serial, sort_keys=True
         )
 
+    def test_aggregate_histogram_percentiles_worker_invariant(self):
+        """Property: the merged report's latency histograms — and the
+        percentiles derived from them — are identical whichever worker
+        count folded the per-cell reports, including the fan-in-8
+        chunked reduction (12 observed cells > one chunk)."""
+        devices = ("K20c", "GTX1080")
+        suite = run_suite(
+            workloads=WORKLOADS, devices=devices, workers=2, observe=True
+        )
+        observed = [
+            cell for cell in suite.cells if cell.result.report is not None
+        ]
+        assert len(observed) > 8  # forces the chunk-tree path
+        reference = aggregate_reports(suite.cells, workers=1).to_dict()
+        for workers in (2, 3, 5):
+            merged = aggregate_reports(suite.cells, workers=workers).to_dict()
+            assert json.dumps(merged, sort_keys=True) == json.dumps(
+                reference, sort_keys=True
+            )
+        # The percentile fields themselves must be populated, not just
+        # vacuously equal empty histograms.
+        latencies = reference["stage_latency"]
+        assert latencies
+        for hist in latencies.values():
+            assert hist["count"] > 0
+            assert hist["p50"] <= hist["p99"]
+
     def test_parallel_with_shared_disk_cache_matches_serial(self, tmp_path):
         serial = run_suite(workloads=WORKLOADS, workers=1, observe=True)
         cold = run_suite(
