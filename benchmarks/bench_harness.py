@@ -2,32 +2,43 @@
 
 The quantity of interest is host wall time of the full evaluation suite
 (six workloads × three Table-2 columns × two devices = 36 cells),
-comparing three ways of running it:
+comparing four ways of running it:
 
 * **cold serial** — one worker, empty disk cache: every workload's
   functional trace is recorded once, then replayed across that
   invocation's remaining models (the PR-4 baseline behaviour);
 * **warm serial** — one worker over the now-populated disk cache: no
   functional execution at all, every cell replays a stored trace;
-* **warm parallel** — four workers over the warm cache: pure simulation,
-  fanned across the process pool.
+* **pool spawn** — the first parallel dispatch: four workers fork from
+  the parent (inheriting its warm caches copy-on-write) and the
+  persistent pool pays its one-time start-up cost;
+* **warm parallel** — the same dispatch again on the now-running pool:
+  steady state, the regime every dispatch after the first runs in.
 
-All three produce byte-identical simulated results (asserted below via
+All four produce byte-identical simulated results (asserted below via
 ``suite_bench_payload``); the speedup is pure harness engineering.  The
-headline target — warm-parallel at least 2x faster than cold-serial — is
-asserted only with >= 4 real cores (the suite is compute-bound; on fewer
-cores the workers just timeshare), mirroring ``bench_tuner.py``.
+CI-gated ``warm_parallel_speedup`` (cold wall / steady warm-parallel
+wall) is measured at steady state because the pool is per-process
+persistent: spawn cost amortises across every dispatch a process ever
+issues, and the one-time fork is reported separately as
+``pool_spawn_seconds``.  The headline target — steady warm-parallel at
+least 2x faster than cold-serial — is asserted only with >= 4 real cores
+(the suite is compute-bound; on fewer cores the workers just timeshare),
+mirroring ``bench_tuner.py``; CI additionally enforces
+``warm_parallel_speedup > 1.0`` via ``scripts/check_bench.py --min``.
 
 ``BENCH_harness.json`` records raw wall seconds for inspection plus the
 CI-gated metrics: ``suite_sim_time_ms`` (deterministic simulated total —
-catches simulation regressions) and the machine-normalised
+catches simulation regressions), the machine-normalised
 ``warm_serial_cost`` / ``warm_parallel_cost`` ratios (warm/cold on the
-same host, lower is better — catch cache and pool regressions).
+same host, lower is better — catch cache and pool regressions), and the
+floor-gated ``warm_parallel_speedup``.
 """
 
 import json
 import os
 
+from repro.core.tuner.pool import shutdown_pool
 from repro.harness.pool import run_suite, suite_bench_payload
 from repro.workloads import (
     cfd,
@@ -87,28 +98,36 @@ def test_harness_parallel_warm_speedup(benchmark, tmp_path):
     cache_dir = str(tmp_path / "trace-cache")
 
     def measure():
+        # Start from a dead pool so the spawn leg really measures the
+        # one-time fork cost (another benchmark in the same pytest
+        # process may have left the persistent pool running).
+        shutdown_pool()
         cold = _suite(workers=1, cache_dir=cache_dir)
         warm_serial = _suite(workers=1, cache_dir=cache_dir)
+        spawn = _suite(workers=4, cache_dir=cache_dir)
         warm_parallel = _suite(workers=4, cache_dir=cache_dir)
-        return cold, warm_serial, warm_parallel
+        return cold, warm_serial, spawn, warm_parallel
 
-    cold, warm_serial, warm_parallel = benchmark.pedantic(
+    cold, warm_serial, spawn, warm_parallel = benchmark.pedantic(
         measure, rounds=1, iterations=1
     )
 
     # Sharding, caching and replay are all schedule-preserving: every
     # leg simulates byte-identical results.
     cold_json = json.dumps(suite_bench_payload(cold), sort_keys=True)
-    for other in (warm_serial, warm_parallel):
+    for other in (warm_serial, spawn, warm_parallel):
         assert json.dumps(
             suite_bench_payload(other), sort_keys=True
         ) == cold_json
 
     # Cold records one trace per workload; warm runs replay everything.
+    # Where a warm hit lands (memory vs disk) depends on worker reuse —
+    # a persistent worker that already decoded a trace serves it from
+    # its LRU — so only the placement-agnostic totals are asserted.
     assert cold.cache_stats.stores == len(_PARAMS)
-    assert warm_serial.cache_stats.misses == 0
-    assert warm_parallel.cache_stats.misses == 0
-    assert warm_parallel.cache_stats.disk_hits >= 1
+    for warm in (warm_serial, spawn, warm_parallel):
+        assert warm.cache_stats.misses == 0
+        assert warm.cache_stats.total_hits >= 1
 
     speedup = cold.wall_s / warm_parallel.wall_s
     serial_speedup = cold.wall_s / warm_serial.wall_s
@@ -118,6 +137,8 @@ def test_harness_parallel_warm_speedup(benchmark, tmp_path):
           f"({cold.cache_stats.describe()})")
     print(f"  warm serial    {warm_serial.wall_s:7.2f}s  "
           f"({serial_speedup:4.2f}x; {warm_serial.cache_stats.describe()})")
+    print(f"  pool spawn     {spawn.wall_s:7.2f}s  "
+          f"(first parallel dispatch; {spawn.cache_stats.describe()})")
     print(f"  warm parallel  {warm_parallel.wall_s:7.2f}s  "
           f"({speedup:4.2f}x; {warm_parallel.cache_stats.describe()})")
 
@@ -129,13 +150,16 @@ def test_harness_parallel_warm_speedup(benchmark, tmp_path):
             "suite_sim_time_ms": sum(c.time_ms for c in cold.cells),
             "cold_serial_seconds": cold.wall_s,
             "warm_serial_seconds": warm_serial.wall_s,
+            "pool_spawn_seconds": spawn.wall_s,
             "warm_parallel_seconds": warm_parallel.wall_s,
             # Machine-normalised (same-host warm/cold ratios, lower is
             # better): gate the disk cache and the worker pool.
             "warm_serial_cost": warm_serial.wall_s / cold.wall_s,
             "warm_parallel_cost": warm_parallel.wall_s / cold.wall_s,
+            # Floor-gated in CI: scripts/check_bench.py
+            # --min suite.warm_parallel_speedup=1.0 (>= 4-core runners).
             "warm_parallel_speedup": speedup,
-            "warm_disk_hits": warm_parallel.cache_stats.disk_hits,
+            "warm_total_hits": warm_parallel.cache_stats.total_hits,
         }
     }
     with open(_BENCH_JSON, "w") as handle:

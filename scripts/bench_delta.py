@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Render a BENCH json delta as a Markdown summary table.
+
+Reads the committed baseline and a freshly generated ``BENCH_*.json``
+and emits a table of every numeric leaf — baseline value, current value,
+and the relative delta — so a PR's benchmark movement is readable at a
+glance in the GitHub step summary and in the uploaded artifact, without
+digging through raw JSON.
+
+Purely informational: unlike ``check_bench.py`` this never fails the
+build (exit 0 even when metrics moved); leaves present in only one file
+are listed with a ``—`` placeholder.
+
+Usage::
+
+    python scripts/bench_delta.py \
+        --baseline benchmarks/baselines/BENCH_harness.json \
+        --current BENCH_harness.json \
+        --title "Harness suite" [--out bench_delta.md]
+
+With ``--out`` the table is also written to a file (for artifact
+upload); it always goes to stdout (for ``>> $GITHUB_STEP_SUMMARY``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from check_bench import iter_numeric_leaves
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "—"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def render_delta(
+    baseline: dict[str, float], current: dict[str, float], title: str
+) -> str:
+    lines = [
+        f"### {title}",
+        "",
+        "| metric | baseline | current | delta |",
+        "| --- | ---: | ---: | ---: |",
+    ]
+    for key in sorted(set(baseline) | set(current)):
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is not None and cur is not None and base != 0:
+            delta = f"{(cur - base) / abs(base):+.1%}"
+        else:
+            delta = "—"
+        lines.append(
+            f"| `{key}` | {_fmt(base)} | {_fmt(cur)} | {delta} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--title", default="Benchmark delta")
+    parser.add_argument("--out", default=None,
+                        help="also write the table to this file")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = dict(iter_numeric_leaves(json.load(fh)))
+        with open(args.current, "r", encoding="utf-8") as fh:
+            current = dict(iter_numeric_leaves(json.load(fh)))
+    except (OSError, ValueError) as exc:
+        print(f"bench_delta: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+    table = render_delta(baseline, current, args.title)
+    print(table)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,14 +15,24 @@ slice and the check fails.  Metrics present in only one file are
 reported but do not fail the gate (workloads come and go); zero or
 negative baselines are skipped.
 
+A second, independent gate class sets **hard floors**: ``--min
+PATH=VALUE`` (repeatable) requires the numeric leaf at ``PATH`` in the
+*current* file to be strictly greater than ``VALUE``.  Floors are
+absolute claims about the current run — "warm-parallel actually beats
+cold" — not drift budgets, so they apply to any numeric leaf (no suffix
+filtering), ignore the baseline entirely, and a missing or non-numeric
+leaf fails the gate rather than passing silently.
+
 Usage::
 
     python scripts/check_bench.py \
         --baseline benchmarks/baselines/BENCH_fig11.json \
         --current BENCH_fig11.json \
-        --threshold 0.10
+        --threshold 0.10 \
+        --min suite.warm_parallel_speedup=1.0
 
-Exit codes: 0 = within budget, 1 = regression, 2 = bad input.
+Exit codes: 0 = within budget, 1 = regression/floor violation,
+2 = bad input.
 """
 
 from __future__ import annotations
@@ -54,10 +64,63 @@ def iter_metrics(node, path: str = "") -> Iterator[tuple[str, float]]:
             yield path, float(node)
 
 
-def load_metrics(path: str) -> dict[str, float]:
-    with open(path, "r", encoding="utf-8") as fh:
-        payload = json.load(fh)
-    return dict(iter_metrics(payload))
+def iter_numeric_leaves(node, path: str = "") -> Iterator[tuple[str, float]]:
+    """Yield (json-path, value) for *every* numeric leaf under ``node``.
+
+    Unlike :func:`iter_metrics` no suffix filter applies: floor gates
+    may anchor on any quantity the benchmark records (speedups, hit
+    counts), not just the lower-is-better drift metrics.
+    """
+    if isinstance(node, dict):
+        for key in sorted(node):
+            child_path = f"{path}.{key}" if path else str(key)
+            yield from iter_numeric_leaves(node[key], child_path)
+    elif isinstance(node, list):
+        for idx, child in enumerate(node):
+            yield from iter_numeric_leaves(child, f"{path}[{idx}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        if math.isfinite(node):
+            yield path, float(node)
+
+
+def parse_min_spec(spec: str) -> tuple[str, float]:
+    """Split one ``--min PATH=VALUE`` argument; raises ValueError."""
+    path, sep, raw = spec.partition("=")
+    if not sep or not path:
+        raise ValueError(f"--min expects PATH=VALUE, got {spec!r}")
+    return path, float(raw)
+
+
+def check_floors(
+    current: dict[str, float], floors: list[tuple[str, float]]
+) -> tuple[bool, str]:
+    """Apply every ``--min`` floor to the current file's numeric leaves.
+
+    Returns (ok, report).  A floor whose path is absent from the current
+    file *fails* — a benchmark that silently stopped emitting the gated
+    quantity must not turn the gate green.
+    """
+    ok = True
+    lines = []
+    for path, minimum in floors:
+        value = current.get(path)
+        if value is None:
+            ok = False
+            lines.append(
+                f"  {path}: MISSING (floor > {minimum:g})  <-- no such "
+                f"numeric leaf in current file"
+            )
+        elif value > minimum:
+            lines.append(f"  {path}: {value:.4f} > {minimum:g}  ok")
+        else:
+            ok = False
+            lines.append(
+                f"  {path}: {value:.4f} <= {minimum:g}  <-- below floor"
+            )
+    lines.append(
+        "floors PASS" if ok else "floors FAIL: hard minimum not met"
+    )
+    return ok, "\n".join(lines)
 
 
 def compare(
@@ -119,16 +182,37 @@ def main(argv=None) -> int:
                         help="freshly generated BENCH json")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed geomean slowdown (default 0.10 = 10%%)")
+    parser.add_argument("--min", dest="floors", action="append",
+                        default=[], metavar="PATH=VALUE",
+                        help="hard floor: the numeric leaf at PATH in the "
+                        "current file must be strictly greater than VALUE "
+                        "(repeatable; missing leaves fail)")
     args = parser.parse_args(argv)
     try:
-        baseline = load_metrics(args.baseline)
-        current = load_metrics(args.current)
+        floors = [parse_min_spec(spec) for spec in args.floors]
+    except ValueError as exc:
+        print(f"check_bench: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline_payload = json.load(fh)
+        with open(args.current, "r", encoding="utf-8") as fh:
+            current_payload = json.load(fh)
     except (OSError, ValueError) as exc:
         print(f"check_bench: cannot load inputs: {exc}", file=sys.stderr)
         return 2
+    baseline = dict(iter_metrics(baseline_payload))
+    current = dict(iter_metrics(current_payload))
     ok, report = compare(baseline, current, args.threshold)
     print(f"== check_bench: {args.current} vs {args.baseline} ==")
     print(report)
+    if floors:
+        floors_ok, floors_report = check_floors(
+            dict(iter_numeric_leaves(current_payload)), floors
+        )
+        print(f"== check_bench floors: {args.current} ==")
+        print(floors_report)
+        ok = ok and floors_ok
     return 0 if ok else 1
 
 

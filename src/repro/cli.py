@@ -35,11 +35,13 @@ across its three models.  Both paths are schedule-preserving: the
 simulated results are bit-identical whichever knobs are set.
 
 Two more knobs scale the multi-cell commands (see ``docs/harness.md``):
-``--workers N`` fans independent experiment cells across worker
-processes (byte-identical results for any count), and
-``--trace-cache-dir [PATH]`` layers a persistent on-disk store under the
-replay cache so workers — and later invocations — share recorded traces
-instead of re-running stage code.
+``--workers N`` fans independent experiment cells across a **persistent
+worker pool** — spawned once per CLI process, shared by bench, compare,
+tune and serve, reused across dispatches (byte-identical results for any
+count) — and ``--trace-cache-dir [PATH]`` layers a persistent on-disk
+store under the replay cache so workers — and later invocations — share
+recorded traces instead of re-running stage code; reused workers keep
+those traces decoded in memory between dispatches.
 """
 
 from __future__ import annotations
@@ -564,9 +566,9 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="N",
                 help="worker processes for multi-cell commands (compare/"
-                "bench fan cells across processes; results are "
-                "byte-identical for any count; default 1, bench: one "
-                "per core)",
+                "bench fan cells across a persistent pool reused "
+                "between dispatches; results are byte-identical for "
+                "any count; default 1, bench: one per core)",
             )
         p.add_argument(
             "--trace-cache-dir",

@@ -25,10 +25,15 @@ from .trace import Trace, TraceNode
 
 @dataclass
 class ExecResult:
-    """Outcome of processing one item at one stage."""
+    """Outcome of processing one item at one stage.
+
+    ``children`` may be any sequence; replay hands out shared immutable
+    tuples from the trace's precomputed index, so consumers must not
+    mutate it in place (reassigning, as the serve driver does, is fine).
+    """
 
     cost: TaskCost
-    children: list[tuple[str, object]]
+    children: Sequence[tuple[str, object]]
     outputs: list[object]
 
 
@@ -285,9 +290,7 @@ class ReplayExecutor(Executor):
                 f"replay mismatch: node {item} belongs to stage "
                 f"{node.stage!r}, fetched for {stage!r}"
             )
-        children = [
-            (self.trace.node(cid).stage, cid) for cid in node.children
-        ]
+        children = self.trace.replay_children()[item]
         recorded = self.trace.recorded_outputs.get(item)
         if recorded is not None:
             outputs: list[object] = list(recorded)

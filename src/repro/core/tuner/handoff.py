@@ -1,0 +1,199 @@
+"""Zero-copy payload handoff for the persistent worker pool.
+
+The persistent pool (:mod:`repro.core.tuner.pool`) keeps its worker
+processes alive across ``map_shards`` calls, which makes *payload
+transfer* the remaining per-dispatch cost: the classic ``ctx.Pool``
+initializer re-pickled the payload into every worker on every
+invocation, and for trace-sized payloads (the tuner ships the whole
+recorded task graph) that serialisation dominated replay-only work.
+
+This module ships a payload once per dispatch instead:
+
+* the payload is pickled exactly once, in the parent;
+* small payloads travel inline (the pipe cost is noise);
+* large payloads are published into a single
+  ``multiprocessing.shared_memory`` segment that every worker attaches
+  to by name — the task messages carry only a tiny handle, so the bytes
+  cross the process boundary zero-copy through the kernel's shared
+  mapping rather than W times through the result pipes;
+* workers cache the decoded payload by its **content fingerprint**
+  (sha256 of the pickled bytes), so a persistent worker that has already
+  seen a payload — the tuner re-searching the same trace, the harness
+  re-dispatching the same suite — skips even the one-time decode.
+
+Segments are released by the parent as soon as the dispatch finishes,
+on success *and* on error paths (``tests/core/test_persistent_pool.py``
+pins this); a worker that cached the decoded payload keeps its private
+copy, never the mapping.  Platforms without POSIX shared memory fall
+back to inline transfer with identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from typing import Optional
+
+try:  # POSIX + Windows both have it; some minimal builds do not.
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exotic platforms
+    _shm = None  # type: ignore[assignment]
+
+#: Pickled payloads at least this large are published through shared
+#: memory; smaller ones ride inline in the task message.
+SHARED_MIN_BYTES = 64 * 1024
+
+#: Decoded payloads retained per process, keyed by content fingerprint.
+#: Bounds resident memory in long-lived pool workers.
+RESOLVE_CACHE_ENTRIES = 8
+
+#: Worker-side cache: content fingerprint -> decoded payload.
+_RESOLVED: "OrderedDict[str, object]" = OrderedDict()
+
+#: Parent-side names of segments published but not yet released —
+#: introspection for leak tests and diagnostics.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def live_segment_names() -> frozenset[str]:
+    """Names of shared-memory segments this process has not released."""
+    return frozenset(_LIVE_SEGMENTS)
+
+
+def clear_resolve_cache() -> None:
+    """Drop every cached decoded payload (test isolation hook)."""
+    _RESOLVED.clear()
+
+
+def _remember(key: str, value: object) -> None:
+    _RESOLVED[key] = value
+    _RESOLVED.move_to_end(key)
+    while len(_RESOLVED) > RESOLVE_CACHE_ENTRIES:
+        _RESOLVED.popitem(last=False)
+
+
+def _untrack(segment) -> None:
+    """Detach ``segment`` from this process's resource tracker.
+
+    Attaching registers the segment with the tracker on Python < 3.13,
+    which would make a pool worker's tracker try to unlink a segment the
+    *parent* owns (and warn about "leaked" shared memory at worker
+    exit).  Ownership stays with the publishing parent, so the attach
+    side unregisters; failures are harmless (the tracker then merely
+    over-reports).
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+class InlinePayload:
+    """A payload small enough to ride in the task message itself."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def resolve(self) -> object:
+        return self.value
+
+    def release(self) -> None:
+        """Nothing to release: no shared resources were published."""
+
+
+class SharedPayload:
+    """A payload published once into a named shared-memory segment.
+
+    The parent keeps the live segment for :meth:`release`; the pickled
+    handle that crosses into workers carries only ``(name, size, key)``.
+    Workers attach read-only, decode, cache by ``key`` and detach
+    immediately — the payload bytes are shipped exactly once however
+    many workers and dispatches consume them.
+    """
+
+    __slots__ = ("name", "size", "key", "_segment")
+
+    def __init__(
+        self, name: str, size: int, key: str, segment=None
+    ) -> None:
+        self.name = name
+        self.size = size
+        self.key = key
+        self._segment = segment
+
+    def __getstate__(self) -> tuple[str, int, str]:
+        return (self.name, self.size, self.key)
+
+    def __setstate__(self, state: tuple[str, int, str]) -> None:
+        self.name, self.size, self.key = state
+        self._segment = None
+
+    def resolve(self) -> object:
+        """The decoded payload, from the per-process cache when possible."""
+        if self.key in _RESOLVED:
+            _RESOLVED.move_to_end(self.key)
+            return _RESOLVED[self.key]
+        if _shm is None:  # pragma: no cover - publish side guards this
+            raise pickle.UnpicklingError(
+                "shared-memory payload received on a platform without "
+                "multiprocessing.shared_memory"
+            )
+        segment = _shm.SharedMemory(name=self.name)
+        try:
+            _untrack(segment)
+            value = pickle.loads(segment.buf[: self.size])
+        finally:
+            segment.close()
+        _remember(self.key, value)
+        return value
+
+    def release(self) -> None:
+        """Unlink the segment (parent side; idempotent).
+
+        Runs in a ``finally`` around every dispatch so segments never
+        outlive their ``map_shards`` call, even when a shard raises or a
+        worker crashes mid-dispatch.
+        """
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        _LIVE_SEGMENTS.discard(self.name)
+
+
+def publish_payload(
+    payload: object, min_bytes: Optional[int] = None
+):
+    """Pickle ``payload`` once and pick its cheapest transport.
+
+    Returns an :class:`InlinePayload` or :class:`SharedPayload` handle
+    whose ``resolve()`` reproduces the payload in any process and whose
+    ``release()`` frees any published segment.  Raises the usual pickle
+    errors (``PicklingError``/``TypeError``/``AttributeError``) for
+    payloads that cannot cross a process boundary — the pool catches
+    those and degrades to in-process execution.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    threshold = SHARED_MIN_BYTES if min_bytes is None else min_bytes
+    if _shm is None or len(blob) < threshold:
+        return InlinePayload(payload)
+    key = hashlib.sha256(blob).hexdigest()
+    segment = _shm.SharedMemory(create=True, size=len(blob))
+    try:
+        segment.buf[: len(blob)] = blob
+    except BaseException:  # pragma: no cover - copy cannot really fail
+        segment.close()
+        segment.unlink()
+        raise
+    _LIVE_SEGMENTS.add(segment.name)
+    return SharedPayload(segment.name, len(blob), key, segment=segment)

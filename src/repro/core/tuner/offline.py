@@ -203,12 +203,12 @@ def _replay_config(
     engine = HybridEngine(pipeline, device, executor, config)
     engine.start(replay_placeholders(trace))
 
-    def over_deadline() -> bool:
-        return device.engine.now > deadline_cycles
-
-    device.engine.run(until=lambda: engine._complete() or over_deadline())
+    device.engine.run(
+        until=engine._complete,
+        deadline=deadline_cycles if math.isfinite(deadline_cycles) else None,
+    )
     if not engine._complete():
-        if over_deadline():
+        if device.engine.now > deadline_cycles:
             raise DeadlineExceeded(
                 f"config exceeded {deadline_cycles:.0f} cycles"
             )

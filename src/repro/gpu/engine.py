@@ -221,16 +221,44 @@ class Engine:
         self,
         until: Callable[[], bool] | None = None,
         max_events: int = 50_000_000,
+        deadline: float | None = None,
     ) -> None:
-        """Run events until the heap drains or ``until()`` becomes true.
+        """Run events until the heap drains, ``until()`` becomes true, or
+        the clock passes ``deadline``.
 
-        ``max_events`` is a runaway guard: exceeding it raises
-        ``RuntimeError`` rather than hanging a test run forever.
+        ``deadline`` stops the run once ``now`` has advanced *past* the
+        given cycle count — checked natively here because the tuner's
+        replay loop runs millions of events under a shrinking deadline,
+        and folding the comparison into a per-event ``until`` closure
+        doubles the per-event dispatch cost.  ``max_events`` is a runaway
+        guard: exceeding it raises ``RuntimeError`` rather than hanging a
+        test run forever.
         """
+        pop = heapq.heappop
         for _ in range(max_events):
+            if deadline is not None and self.now > deadline:
+                return
             if until is not None and until():
                 return
-            if not self.step():
+            # Inlined step(): one attribute fetch + heap pop per event
+            # instead of a method call.  ``fn()`` may trigger
+            # ``_compact``, which rebinds ``self._heap`` — re-fetch it
+            # every iteration.
+            heap = self._heap
+            fired = False
+            while heap:
+                time, _seq, token, fn = pop(heap)
+                token._engine = None  # left the heap; late cancels are free
+                if token.cancelled:
+                    self._tombstones -= 1
+                    continue
+                assert time >= self.now, "event scheduled in the past"
+                self.now = time
+                self._events_processed += 1
+                fn()
+                fired = True
+                break
+            if not fired:
                 return
         raise RuntimeError(
             f"engine exceeded {max_events} events; likely a scheduling livelock"

@@ -48,7 +48,7 @@ from ..core.tuner.pool import default_workers, map_shards, stride_shards
 from ..gpu.specs import get_spec
 from ..workloads.registry import all_workloads, get_workload
 from .runner import ExperimentCell, run_cell, run_versapipe
-from .tracecache import TraceCache, TraceCacheStats
+from .tracecache import TraceCache, TraceCacheStats, process_cache
 
 #: The Table 2 columns; the default suite runs one cell per column.
 COLUMNS = ("baseline", "megakernel", "versapipe")
@@ -162,18 +162,31 @@ def _run_task(
 def _run_cell_shard(
     payload: _SuitePayload, shard: list[CellTask]
 ) -> _ShardCells:
-    """Worker entry point: run one shard sequentially with a private cache.
+    """Worker entry point: run one shard sequentially.
 
-    Each worker builds its own :class:`TraceCache`; with a ``cache_dir``
-    the caches share the disk layer, so the first worker to record a
-    workload's trace persists it for every other worker and every later
-    invocation.
+    With a ``cache_dir`` the worker resolves the **process-persistent**
+    cache for that directory (:func:`~repro.harness.tracecache
+    .process_cache`): the persistent pool keeps workers alive across
+    dispatches, so traces loaded or recorded once stay resident in the
+    worker's memory LRU and later dispatches replay them with no disk
+    or pickle work at all.  Without a disk layer the cache is private to
+    the dispatch, exactly as before.
+
+    The returned ``cache_stats`` are this *dispatch's* counter delta —
+    never the worker's lifetime totals, which under worker reuse span
+    every suite this process ever served.
     """
     cache: Optional[TraceCache] = None
     if payload.replay_cache:
-        cache = TraceCache(disk_dir=payload.cache_dir)
+        if payload.cache_dir:
+            cache = process_cache(payload.cache_dir)
+        else:
+            cache = TraceCache()
+    before = cache.stats() if cache is not None else TraceCacheStats()
     cells = [_run_task(task, payload, cache) for task in shard]
-    stats = cache.stats() if cache is not None else TraceCacheStats()
+    stats = (
+        cache.stats() - before if cache is not None else TraceCacheStats()
+    )
     return _ShardCells(cells=cells, cache_stats=stats)
 
 

@@ -35,6 +35,7 @@ from .tracecache import (
     DEFAULT_TRACE_CACHE,
     TraceCache,
     TraceCacheStats,
+    process_cache,
     workload_fingerprint,
 )
 
@@ -185,7 +186,13 @@ def _run_candidate_shard(
     gpu = get_spec(payload.device)
     cache: Optional[TraceCache] = None
     if payload.replay_cache:
-        cache = TraceCache(disk_dir=payload.cache_dir)
+        # Same per-process persistence + per-dispatch delta accounting
+        # as the suite shards (see pool._run_cell_shard).
+        if payload.cache_dir:
+            cache = process_cache(payload.cache_dir)
+        else:
+            cache = TraceCache()
+    before = cache.stats() if cache is not None else TraceCacheStats()
     cells = [
         run_cell(
             spec,
@@ -200,7 +207,9 @@ def _run_candidate_shard(
         )
         for config in shard
     ]
-    stats = cache.stats() if cache is not None else TraceCacheStats()
+    stats = (
+        cache.stats() - before if cache is not None else TraceCacheStats()
+    )
     return cells, stats
 
 

@@ -352,3 +352,39 @@ class TraceCache:
 #: Process-wide cache used by the harness entry points by default; pass
 #: ``cache=None`` (``repro --no-replay-cache``) to force functional runs.
 DEFAULT_TRACE_CACHE = TraceCache()
+
+
+#: Disk-backed caches retained per process, keyed by directory.  Bounds
+#: resident trace memory in long-lived pool workers that serve suites
+#: over many different cache directories (the test suite does).
+PROCESS_CACHE_DIRS = 4
+
+_PROCESS_CACHES: OrderedDict[str, TraceCache] = OrderedDict()
+
+
+def process_cache(disk_dir: str) -> TraceCache:
+    """The per-process persistent cache attached to one disk directory.
+
+    Harness pool workers resolve their cache through this registry
+    instead of building a fresh :class:`TraceCache` per dispatch, so a
+    **reused** worker (the persistent pool keeps processes alive across
+    ``map_shards`` calls) replays traces straight from its memory LRU —
+    attaching to the shared :class:`DiskTraceStore` by fingerprint only
+    the first time it meets a workload.  Because the pool forks lazily,
+    workers also inherit whatever this registry already held in the
+    parent, copy-on-write: traces recorded by a serial run are visible
+    to every later parallel run without any serialisation at all.
+
+    Callers that need per-run counters must snapshot ``cache.stats()``
+    before and after and publish the delta — lifetime counters span
+    every dispatch this process ever served (see ``_run_cell_shard``).
+    """
+    key = os.path.abspath(os.path.expanduser(disk_dir))
+    cache = _PROCESS_CACHES.get(key)
+    if cache is None:
+        cache = TraceCache(disk_dir=disk_dir)
+        _PROCESS_CACHES[key] = cache
+    _PROCESS_CACHES.move_to_end(key)
+    while len(_PROCESS_CACHES) > PROCESS_CACHE_DIRS:
+        _PROCESS_CACHES.popitem(last=False)
+    return cache

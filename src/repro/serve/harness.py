@@ -5,7 +5,10 @@ typically one workload under one arrival process.  Cells are independent
 (each builds its own device, pipeline and arrival schedule), so they
 shard across processes exactly like the evaluation suite's cells
 (:mod:`repro.harness.pool`): deterministic stride shards, sequential
-execution inside each worker, stride merge back into plan order.
+execution inside each worker, stride merge back into plan order.  The
+workers come from the process-wide persistent pool
+(:mod:`repro.core.tuner.pool`), so a serve run issued after a bench or
+tune in the same process reuses their already-forked workers.
 
 Determinism contract (pinned by ``tests/serve/test_serve_harness.py``):
 ``run_serve_cells`` returns reports in plan order whose

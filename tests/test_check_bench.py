@@ -141,6 +141,101 @@ class TestGate:
         assert code == 2
 
 
+class TestFloors:
+    """The ``--min PATH=VALUE`` hard-floor gate class."""
+
+    def test_floor_met_passes(self, tmp_path):
+        payload = dict(BASELINE, suite={"warm_parallel_speedup": 1.4})
+        base = _write(tmp_path, "base.json", payload)
+        cur = _write(tmp_path, "cur.json", payload)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur,
+             "--min", "suite.warm_parallel_speedup=1.0"]
+        )
+        assert code == 0
+
+    def test_floor_violated_fails_even_when_drift_passes(self, tmp_path):
+        """A floor is independent of the drift geomean: identical files
+        (drift PASS) still fail when the gated leaf is below the floor."""
+        payload = dict(BASELINE, suite={"warm_parallel_speedup": 0.88})
+        base = _write(tmp_path, "base.json", payload)
+        cur = _write(tmp_path, "cur.json", payload)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur,
+             "--min", "suite.warm_parallel_speedup=1.0"]
+        )
+        assert code == 1
+
+    def test_floor_is_strictly_greater(self, tmp_path):
+        payload = dict(BASELINE, suite={"warm_parallel_speedup": 1.0})
+        base = _write(tmp_path, "base.json", payload)
+        cur = _write(tmp_path, "cur.json", payload)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur,
+             "--min", "suite.warm_parallel_speedup=1.0"]
+        )
+        assert code == 1
+
+    def test_floor_applies_to_unsuffixed_leaves(self, tmp_path, capsys):
+        """Floors gate any numeric leaf, not just _ms/_cost metrics."""
+        payload = dict(BASELINE, suite={"warm_total_hits": 48})
+        base = _write(tmp_path, "base.json", payload)
+        cur = _write(tmp_path, "cur.json", payload)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur,
+             "--min", "suite.warm_total_hits=1"]
+        )
+        assert code == 0
+        assert "floors PASS" in capsys.readouterr().out
+
+    def test_missing_floor_leaf_fails(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", BASELINE)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur,
+             "--min", "suite.vanished_metric=1.0"]
+        )
+        assert code == 1
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_multiple_floors_all_checked(self, tmp_path):
+        payload = dict(
+            BASELINE, suite={"speedup": 2.0, "hits": 0}
+        )
+        base = _write(tmp_path, "base.json", payload)
+        cur = _write(tmp_path, "cur.json", payload)
+        code = check_bench.main(
+            ["--baseline", base, "--current", cur,
+             "--min", "suite.speedup=1.0", "--min", "suite.hits=1"]
+        )
+        assert code == 1
+
+    def test_malformed_min_spec_is_exit_2(self, tmp_path):
+        base = _write(tmp_path, "base.json", BASELINE)
+        cur = _write(tmp_path, "cur.json", BASELINE)
+        for bad in ("bogus", "=1.0", "path=notanumber"):
+            code = check_bench.main(
+                ["--baseline", base, "--current", cur, "--min", bad]
+            )
+            assert code == 2, bad
+
+    def test_committed_harness_baseline_meets_the_ci_floor(self):
+        """The gate wired into ci.yml must hold on the committed
+        baseline itself — warm-parallel beats cold even on the 1-core
+        box that recorded it."""
+        path = os.path.join(
+            os.path.dirname(_SCRIPT),
+            "..",
+            "benchmarks",
+            "baselines",
+            "BENCH_harness.json",
+        )
+        assert check_bench.main(
+            ["--baseline", path, "--current", path,
+             "--min", "suite.warm_parallel_speedup=1.0"]
+        ) == 0
+
+
 class TestRealBaselines:
     """The committed baselines must always self-compare clean."""
 
