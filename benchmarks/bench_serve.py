@@ -75,11 +75,17 @@ def test_serve_tail_latency(benchmark):
             "goodput_per_ms": report.goodput_per_ms,
             "slo_attainment": report.slo.attainment,
         }
+    # The merged leaf must carry the cross-cell SLO rollup, not just the
+    # latency percentiles: attainment is good/completed over every cell
+    # and goodput divides good completions by the *summed* cell
+    # durations (the per-cell average rate).
     payload["serve"]["merged"] = {
         "requests": merged.requests,
         "latency_p50_ms": merged.latency.percentile(50),
         "latency_p99_ms": merged.latency.percentile(99),
         "latency_p999_ms": merged.latency.percentile(99.9),
+        "slo_attainment": merged.slo.attainment,
+        "goodput_per_ms": merged.goodput_per_ms,
     }
     with open(_BENCH_JSON, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

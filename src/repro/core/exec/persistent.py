@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from ...gpu.block import Compute, Delay, ThreadBlock, Wait
+from ...gpu.block import ThreadBlock
 from ...gpu.kernel import KernelSpec, fuse_specs
 from ...gpu.occupancy import max_blocks_per_sm
 from ...gpu.scheduler import KernelLaunch, Stream
@@ -213,84 +213,198 @@ class PersistentGroupRunner:
         kernel: KernelSpec,
         watch: tuple[str, ...],
         inline: bool,
-    ):
-        # Hot loop: everything loop-invariant is bound to locals up front,
-        # and the locality adjustment is inlined (it must keep the exact
-        # float expression of :func:`locality_adjusted` — the golden tests
-        # pin bit-identical schedules).
-        ctx = self.ctx
-        device = self.device
-        l1_bonus = device.spec.l1_locality_bonus
-        capacity = self._capacity(kernel)
-        inline_set = self._inline_set
-        stages_map = self.pipeline.stages
-        threads_per_block = kernel.threads_per_block
-        run_inline = ctx.executor.run_inline
-        run_batch = ctx.executor.run_batch
-        block_id = block.block_id
-        fetch = ctx.fetch_async
-        # One reusable fetch command: Wait is immutable and ``register`` is
-        # invoked afresh on every yield, so a single instance serves the
-        # whole persistent loop.
-        fetch_wait = Wait(
-            lambda resume: fetch(
-                watch,
-                capacity,
-                resume,
-                waiter_key=block_id,
-                sm_id=block.sm.sm_id,
-            )
-        )
-        while True:
-            fetched = yield fetch_wait
-            if fetched is None:
-                break  # quiescent: the persistent loop's exit condition
-            stage_name, qitems, fetch_cost = fetched
-            yield Delay(fetch_cost)
-            sm_id = block.sm.sm_id
-            stage = stages_map[stage_name]
-            fetch_tpi = stage.threads_per_item
+    ) -> None:
+        """Start the persistent loop for one block (direct style).
 
-            work = 0.0
-            min_cycles = 0.0
-            active_threads = 0
-            children: list[tuple[str, object]] = []
-            outputs: list[object] = []
+        Returns ``None``: :class:`_BlockLoop` drives itself through
+        engine callbacks rather than a yielded-command generator — one
+        bound-method call per engine event instead of a generator resume
+        plus command dispatch (see ``ThreadBlock.start``)."""
+        _BlockLoop(self, block, kernel, watch, inline).start()
+
+
+class _BlockLoop:
+    """Callback-driven persistent block program.
+
+    The paper's ``while (item = schedule()) { fetch; execute; push }``
+    loop, unrolled into one method per simulator event:
+
+    ``_fetch`` → (queue wake) → ``_on_fetch`` → (fetch latency) →
+    ``_body`` → (Compute drains) → ``_after_compute`` → (push latency) →
+    ``_after_push`` → ``_fetch`` ...
+
+    Every engine event invokes the next phase's bound method directly.
+    The event sequence — which ``schedule_call`` / ``add_work`` /
+    ``fetch_async`` calls happen, in which order, with which delays — is
+    exactly the one the earlier generator program produced, so schedules
+    are bit-identical (pinned by the golden tests).  The locality
+    adjustment inlines :func:`locality_adjusted`'s float expression
+    unchanged for the same reason.
+    """
+
+    __slots__ = (
+        "runner",
+        "ctx",
+        "device",
+        "engine",
+        "block",
+        "watch",
+        "inline",
+        "capacity",
+        "inline_set",
+        "stages_map",
+        "threads_per_block",
+        "run_inline",
+        "run_batch",
+        "block_id",
+        "l1_bonus",
+        "fetch",
+        "children",
+        "outputs",
+        "stage_name",
+        "qitems",
+        "n_tasks",
+        "stage_cycles",
+        "per_stage_tasks",
+        "per_stage_cycles",
+    )
+
+    def __init__(
+        self,
+        runner: PersistentGroupRunner,
+        block: ThreadBlock,
+        kernel: KernelSpec,
+        watch: tuple[str, ...],
+        inline: bool,
+    ) -> None:
+        ctx = runner.ctx
+        self.runner = runner
+        self.ctx = ctx
+        self.device = runner.device
+        self.engine = runner.device.engine
+        self.block = block
+        self.watch = watch
+        self.inline = inline
+        self.capacity = runner._capacity(kernel)
+        self.inline_set = runner._inline_set
+        self.stages_map = runner.pipeline.stages
+        self.threads_per_block = kernel.threads_per_block
+        self.run_inline = ctx.executor.run_inline
+        self.run_batch = ctx.executor.run_batch
+        self.block_id = block.block_id
+        self.l1_bonus = runner.device.spec.l1_locality_bonus
+        self.fetch = ctx.fetch_async
+        # Children/outputs buffers, reused across iterations: every
+        # consumer (push_cost, enqueue_children, add_outputs) reads or
+        # copies, none retains the list itself.
+        self.children: list[tuple[str, object]] = []
+        self.outputs: list[object] = []
+
+    def start(self) -> None:
+        # Compute completions resume at the post-compute phase.
+        self.block._resume = self._after_compute
+        self._fetch()
+
+    def _fetch(self) -> None:
+        self.fetch(
+            self.watch,
+            self.capacity,
+            self._on_fetch,
+            self.block_id,
+            self.block.sm.sm_id,
+        )
+
+    def _on_fetch(self, fetched) -> None:
+        if fetched is None:
+            self._exit()  # quiescent: the persistent loop's exit condition
+            return
+        self.stage_name, self.qitems, fetch_cost = fetched
+        self.engine.schedule_call(fetch_cost, self._body)
+
+    def _body(self) -> None:
+        sm_id = self.block.sm.sm_id
+        stage_name = self.stage_name
+        qitems = self.qitems
+        stages_map = self.stages_map
+        l1_bonus = self.l1_bonus
+        fetch_tpi = stages_map[stage_name].threads_per_item
+
+        work = 0.0
+        min_cycles = 0.0
+        active_threads = 0
+        children = self.children
+        outputs = self.outputs
+        children.clear()
+        outputs.clear()
+
+        if self.inline:
             per_stage_tasks: dict[str, int] = {}
             per_stage_cycles: dict[str, float] = {}
-
-            if inline:
-                for qitem in qitems:
-                    result = run_inline(stage_name, qitem.payload, inline_set)
+            run_inline = self.run_inline
+            inline_set = self.inline_set
+            for qitem in qitems:
+                result = run_inline(stage_name, qitem.payload, inline_set)
+                producer_sm = qitem.producer_sm
+                local = producer_sm is not None and producer_sm == sm_id
+                for task in result.tasks:
+                    tname = task.stage
+                    cost = task.cost
+                    cycles = cost.cycles_per_thread
+                    if local:
+                        cycles *= 1.0 - cost.mem_fraction * l1_bonus
+                    work += cycles * stages_map[tname].threads_per_item
+                    per_stage_tasks[tname] = per_stage_tasks.get(tname, 0) + 1
+                    per_stage_cycles[tname] = (
+                        per_stage_cycles.get(tname, 0.0) + cycles
+                    )
+                min_cycles = max(min_cycles, result.chain_floor_cycles)
+                active_threads += fetch_tpi
+                children.extend(result.children)
+                outputs.extend(result.outputs)
+            self.per_stage_tasks = per_stage_tasks
+            self.per_stage_cycles = per_stage_cycles
+        else:
+            stage_cycles = 0.0
+            # One batched drain per fetch: the whole same-stage batch goes
+            # through Stage.execute_batch, then per-item accounting below
+            # replays the exact scalar float expressions (locality uses
+            # each item's own producer SM).
+            results = self.run_batch(
+                stage_name, [qitem.payload for qitem in qitems]
+            )
+            n_tasks = len(results)
+            shared = results[0].cost if n_tasks else None
+            for result in results:
+                if result.cost is not shared:
+                    shared = None
+                    break
+            if shared is not None:
+                # All tasks carry one TaskCost object (the common case for
+                # batched stages): hoist the cost attribute loads and the
+                # locality product.  Only two cycle values can occur, and
+                # the running max / ordered ``work`` accumulation see the
+                # exact per-item sequence the generic loop produces, so
+                # every float stays bit-identical.
+                base = shared.cycles_per_thread
+                local = base * (1.0 - shared.mem_fraction * l1_bonus)
+                for qitem, result in zip(qitems, results):
                     producer_sm = qitem.producer_sm
-                    local = producer_sm is not None and producer_sm == sm_id
-                    for task in result.tasks:
-                        tname = task.stage
-                        cost = task.cost
-                        cycles = cost.cycles_per_thread
-                        if local:
-                            cycles *= 1.0 - cost.mem_fraction * l1_bonus
-                        work += cycles * stages_map[tname].threads_per_item
-                        per_stage_tasks[tname] = (
-                            per_stage_tasks.get(tname, 0) + 1
-                        )
-                        per_stage_cycles[tname] = (
-                            per_stage_cycles.get(tname, 0.0) + cycles
-                        )
-                    min_cycles = max(min_cycles, result.chain_floor_cycles)
-                    active_threads += fetch_tpi
+                    cycles = (
+                        local
+                        if producer_sm is not None and producer_sm == sm_id
+                        else base
+                    )
+                    work += cycles * fetch_tpi
+                    if cycles > min_cycles:
+                        min_cycles = cycles
                     children.extend(result.children)
                     outputs.extend(result.outputs)
+                    stage_cycles += cycles
+                floor = shared.min_cycles
+                if floor > min_cycles:
+                    min_cycles = floor
+                active_threads += fetch_tpi * n_tasks
             else:
-                n_tasks = 0
-                stage_cycles = 0.0
-                # One batched drain per fetch: the whole same-stage batch
-                # goes through Stage.execute_batch, then per-item accounting
-                # below replays the exact scalar float expressions (locality
-                # uses each item's own producer SM).
-                results = run_batch(
-                    stage_name, [qitem.payload for qitem in qitems]
-                )
                 for qitem, result in zip(qitems, results):
                     cost = result.cost
                     cycles = cost.cycles_per_thread
@@ -298,41 +412,62 @@ class PersistentGroupRunner:
                     if producer_sm is not None and producer_sm == sm_id:
                         cycles *= 1.0 - cost.mem_fraction * l1_bonus
                     work += cycles * fetch_tpi
-                    min_cycles = max(min_cycles, cycles, cost.min_cycles)
+                    if cycles > min_cycles:
+                        min_cycles = cycles
+                    floor = cost.min_cycles
+                    if floor > min_cycles:
+                        min_cycles = floor
                     active_threads += fetch_tpi
                     children.extend(result.children)
                     outputs.extend(result.outputs)
-                    n_tasks += 1
                     stage_cycles += cycles
-                if n_tasks:
-                    per_stage_tasks[stage_name] = n_tasks
-                    per_stage_cycles[stage_name] = stage_cycles
+            self.n_tasks = n_tasks
+            self.stage_cycles = stage_cycles
 
-            active_threads = min(active_threads, threads_per_block)
-            if work > 0:
-                yield Compute(
-                    cycles_per_thread=work / active_threads,
-                    threads=active_threads,
-                    min_cycles=min_cycles,
-                )
-            push = ctx.push_cost(children)
-            if push > 0:
-                yield Delay(push)
-            ctx.enqueue_children(children, producer_sm=sm_id)
-            ctx.add_outputs(outputs)
-            for tstage, count in per_stage_tasks.items():
+        if work > 0:
+            if active_threads > self.threads_per_block:
+                active_threads = self.threads_per_block
+            self.block.begin_compute(
+                work / active_threads, active_threads, min_cycles
+            )
+        else:
+            self._after_compute(None)
+
+    def _after_compute(self, _value=None) -> None:
+        push = self.ctx.push_cost(self.children)
+        if push > 0:
+            self.engine.schedule_call(push, self._after_push)
+        else:
+            self._after_push()
+
+    def _after_push(self) -> None:
+        ctx = self.ctx
+        stage_name = self.stage_name
+        qitems = self.qitems
+        ctx.enqueue_children(self.children, producer_sm=self.block.sm.sm_id)
+        ctx.add_outputs(self.outputs)
+        if self.inline:
+            per_stage_cycles = self.per_stage_cycles
+            for tstage, count in self.per_stage_tasks.items():
                 ctx.note_stage_work(tstage, count, per_stage_cycles[tstage])
-            ctx.complete_tasks(stage_name, len(qitems), items=qitems)
-            device.note_residency()
-        self._finished_blocks += 1
-        if self._finished_blocks == self.total_blocks:
-            if self.device.obs is not None:
-                self.device.obs.emit(
+        elif self.n_tasks:
+            ctx.note_stage_work(stage_name, self.n_tasks, self.stage_cycles)
+        ctx.complete_tasks(stage_name, len(qitems), items=qitems)
+        self.device.note_residency()
+        self._fetch()
+
+    def _exit(self) -> None:
+        runner = self.runner
+        runner._finished_blocks += 1
+        if runner._finished_blocks == runner.total_blocks:
+            if runner.device.obs is not None:
+                runner.device.obs.emit(
                     GroupExited(
-                        t=self.device.engine.now,
-                        stages=tuple(self.group.stages),
-                        blocks=self.total_blocks,
+                        t=runner.device.engine.now,
+                        stages=tuple(runner.group.stages),
+                        blocks=runner.total_blocks,
                     )
                 )
-            if self.on_all_blocks_exited is not None:
-                self.on_all_blocks_exited(self)
+            if runner.on_all_blocks_exited is not None:
+                runner.on_all_blocks_exited(runner)
+        self.block._finish()

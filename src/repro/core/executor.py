@@ -23,7 +23,7 @@ from .stage import EmitContext, TaskCost
 from .trace import Trace, TraceNode
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecResult:
     """Outcome of processing one item at one stage.
 
@@ -37,7 +37,7 @@ class ExecResult:
     outputs: list[object]
 
 
-@dataclass
+@dataclass(slots=True)
 class InlineTask:
     """One task executed as part of an inlined (fused-stage) run."""
 
@@ -47,7 +47,7 @@ class InlineTask:
     depth: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class InlineResult:
     """Outcome of running an item through a fused set of stages."""
 
@@ -171,9 +171,10 @@ class FunctionalExecutor(Executor):
         stage_obj = self._stages[stage]
         emit_set = self._emit_sets[stage]
         results: list[ExecResult] = []
+        append = results.append
         cap = self.batch_size or len(items)
         for start in range(0, len(items), cap):
-            chunk = items[start : start + cap]
+            chunk = items if cap >= len(items) else items[start : start + cap]
             ctxs = [EmitContext(emit_set) for _ in chunk]
             costs = stage_obj.execute_batch(chunk, ctxs)
             if len(costs) != len(chunk):
@@ -181,13 +182,19 @@ class FunctionalExecutor(Executor):
                     f"stage {stage!r} returned {len(costs)} costs from "
                     f"execute_batch() for a batch of {len(chunk)}"
                 )
+            # Batched stages commonly return one shared frozen TaskCost
+            # for every item; validate each distinct object once.
+            last_cost = None
             for cost, ctx in zip(costs, ctxs):
-                if not isinstance(cost, TaskCost):
-                    raise ExecutionError(
-                        f"stage {stage!r} returned {type(cost).__name__} "
-                        "from execute_batch(); expected TaskCost"
-                    )
-                results.append(
+                if cost is not last_cost:
+                    if not isinstance(cost, TaskCost):
+                        raise ExecutionError(
+                            f"stage {stage!r} returned "
+                            f"{type(cost).__name__} from execute_batch(); "
+                            "expected TaskCost"
+                        )
+                    last_cost = cost
+                append(
                     ExecResult(
                         cost=cost, children=ctx.children, outputs=ctx.outputs
                     )

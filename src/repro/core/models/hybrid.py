@@ -125,11 +125,18 @@ class HybridEngine:
         """The run is over only when the queues drained, every KBK group
         runner retired, and every issued launch finished — checking the
         launches alone would stop between a KBK wave's completion and the
-        next wave's (event-scheduled) launch."""
+        next wave's (event-scheduled) launch.
+
+        Called per engine event as the run's ``until`` predicate, so each
+        leg is an O(1) counter test (outstanding work first: it is nonzero
+        for almost the whole run and short-circuits the rest)."""
         return (
-            self.ctx.done
-            and all(r.finished for r in self.kbk_runners)
-            and self.device._all_done()
+            self.ctx.total_outstanding == 0
+            and self.device._incomplete_launches == 0
+            and (
+                not self.kbk_runners
+                or all(r.finished for r in self.kbk_runners)
+            )
         )
 
     def start(self, initial_items: dict[str, Sequence[object]]) -> None:

@@ -71,28 +71,31 @@ def split_sms_proportionally(
     return assignment
 
 
+def _fine_map_fits(
+    pipeline: Pipeline, spec: GPUSpec, candidate: Mapping[str, int]
+) -> bool:
+    """Can one SM of ``spec`` host the candidate per-SM block counts?"""
+    regs = smem = threads = blocks = 0
+    for stage_name, count in candidate.items():
+        kernel = pipeline.stage(stage_name).kernel_spec()
+        regs += registers_per_block(kernel, spec) * count
+        smem += shared_mem_per_block(kernel, spec) * count
+        threads += kernel.threads_per_block * count
+        blocks += count
+    return (
+        regs <= spec.registers_per_sm
+        and smem <= spec.shared_mem_per_sm
+        and threads <= spec.max_threads_per_sm
+        and blocks <= spec.max_blocks_per_sm
+    )
+
+
 def default_fine_block_map(
     pipeline: Pipeline, spec: GPUSpec, stages: Sequence[str]
 ) -> dict[str, int]:
     """One block per stage per SM, then greedily add more while they fit."""
     block_map = {s: 1 for s in stages}
-
-    def fits(candidate: Mapping[str, int]) -> bool:
-        regs = smem = threads = blocks = 0
-        for stage_name, count in candidate.items():
-            kernel = pipeline.stage(stage_name).kernel_spec()
-            regs += registers_per_block(kernel, spec) * count
-            smem += shared_mem_per_block(kernel, spec) * count
-            threads += kernel.threads_per_block * count
-            blocks += count
-        return (
-            regs <= spec.registers_per_sm
-            and smem <= spec.shared_mem_per_sm
-            and threads <= spec.max_threads_per_sm
-            and blocks <= spec.max_blocks_per_sm
-        )
-
-    if not fits(block_map):
+    if not _fine_map_fits(pipeline, spec, block_map):
         raise ConfigurationError(
             f"stages {list(stages)} cannot co-reside even at 1 block each; "
             "use coarse pipeline or regroup"
@@ -108,9 +111,40 @@ def default_fine_block_map(
                 continue
             trial = dict(block_map)
             trial[stage_name] += 1
-            if fits(trial):
+            if _fine_map_fits(pipeline, spec, trial):
                 block_map = trial
                 changed = True
+    return block_map
+
+
+def fit_fine_block_map(
+    pipeline: Pipeline, spec: GPUSpec, preferred: Mapping[str, int]
+) -> dict[str, int]:
+    """Clamp a hand-tuned per-SM block map to what ``spec`` can host.
+
+    The workloads' ``versapipe_config`` plans were tuned on the paper's
+    devices (2048-thread Kepler/Pascal SMs); a device with tighter
+    per-SM residency limits (e.g. Turing's 1024-thread SMs) scales the
+    plan down instead of failing: the stage with the most blocks gives
+    one back (first such stage in map order on ties, deterministic)
+    until the group co-resides.  On devices where the preferred map
+    already fits, it is returned unchanged.  Raises when even one block
+    per stage cannot fit.
+    """
+    block_map = dict(preferred)
+    while not _fine_map_fits(pipeline, spec, block_map):
+        victim = None
+        for stage_name, count in block_map.items():
+            if count > 1 and (
+                victim is None or count > block_map[victim]
+            ):
+                victim = stage_name
+        if victim is None:
+            raise ConfigurationError(
+                f"stages {list(block_map)} cannot co-reside even at "
+                "1 block each; use coarse pipeline or regroup"
+            )
+        block_map[victim] -= 1
     return block_map
 
 

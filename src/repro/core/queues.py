@@ -62,6 +62,20 @@ class WorkQueue:
         self.stats.bytes_moved += self.item_bytes
         self.stats.peak_length = max(self.stats.peak_length, len(self._items))
 
+    def push_many(
+        self, payloads: list[object], producer_sm: Optional[int] = None
+    ) -> None:
+        """Bulk :meth:`push`.  Pushes only grow the queue, so updating the
+        peak once after the extend matches per-item peak tracking."""
+        self._items.extend([QueuedItem(p, producer_sm) for p in payloads])
+        n = len(payloads)
+        stats = self.stats
+        stats.enqueued += n
+        stats.bytes_moved += self.item_bytes * n
+        length = len(self._items)
+        if length > stats.peak_length:
+            stats.peak_length = length
+
     def pop_batch(self, max_items: int) -> list[QueuedItem]:
         batch = []
         while self._items and len(batch) < max_items:

@@ -130,6 +130,28 @@ class SharedQueueSet(_QueueSetBase):
             self._push_costs[stage] = cost
         return cost
 
+    def push_many(
+        self, stage: str, payloads: list[object], producer_sm: Optional[int]
+    ) -> float:
+        """Bulk :meth:`push` of ``payloads`` into one stage.
+
+        With a bus attached the per-item path is used so the emitted
+        push-event stream (one event + depth sample per item) is
+        unchanged; otherwise all bookkeeping runs once for the batch.
+        """
+        if self.bus is not None:
+            return sum(self.push(stage, p, producer_sm) for p in payloads)
+        queue = self._queues[stage]
+        queue.push_many(payloads, producer_sm)
+        self.depth.push(stage, len(payloads))
+        cost = self._push_costs.get(stage)
+        if cost is None:
+            cost = queue_op_cost(
+                self.spec, queue.item_bytes, 1, self._contention_level
+            )
+            self._push_costs[stage] = cost
+        return cost * len(payloads)
+
     def pop(
         self, stage: str, max_items: int, sm_id: Optional[int]
     ) -> tuple[list[QueuedItem], float]:
@@ -199,6 +221,21 @@ class DistributedQueueSet(_QueueSetBase):
         # A per-SM shard sees only its own SM's blocks: no cross-SM
         # contention on the atomic counters.
         return queue_op_cost(self.spec, self._item_bytes[stage], 1, 0.0)
+
+    def push_many(
+        self, stage: str, payloads: list[object], producer_sm: Optional[int]
+    ) -> float:
+        """Bulk :meth:`push`: every item lands on the producer's shard, so
+        the batch is one ``push_many`` on a single queue.  Falls back to the
+        per-item path when a bus is attached (event stream unchanged)."""
+        if self.bus is not None:
+            return sum(self.push(stage, p, producer_sm) for p in payloads)
+        shard = HOST_SHARD if producer_sm is None else producer_sm
+        self._shards[stage][shard].push_many(payloads, producer_sm)
+        self.depth.push(stage, len(payloads))
+        return len(payloads) * queue_op_cost(
+            self.spec, self._item_bytes[stage], 1, 0.0
+        )
 
     def pop(
         self, stage: str, max_items: int, sm_id: Optional[int]

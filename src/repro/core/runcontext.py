@@ -71,6 +71,9 @@ class _Waiter:
     resume: Callable[[object], None]
     sm_id: Optional[int] = None
     cancelled: bool = False
+    #: Global park order (monotonic), for merging wake order across
+    #: watch-tuple queues that share a stage.
+    seq: int = 0
 
 
 @dataclass
@@ -116,6 +119,12 @@ class RunContext:
             engine = device.engine
             self.queue_set.attach_bus(device.obs, lambda: engine.now)
         self.outstanding: dict[str, int] = {name: 0 for name in pipeline.stages}
+        #: The queue set's live backlog ledger (stage -> queued items).
+        #: Both organisations keep it exact on every push/pop/drain, so
+        #: ``self._backlog[s] > 0`` is ``queue_set.has_work(s)`` without
+        #: the method call — the scheduler's queue-pick scan reads it
+        #: thousands of times per run.
+        self._backlog = self.queue_set.depth.current
         self.total_outstanding = 0
         self.outputs: list[object] = []
         self.stage_stats: dict[str, StageRunStats] = {
@@ -136,6 +145,19 @@ class RunContext:
             name: stage.item_bytes for name, stage in pipeline.stages.items()
         }
         self._waiters: deque[_Waiter] = deque()
+        #: Watch tuple -> parked waiters with exactly that watch set, in
+        #: park order.  Parking appends to ONE deque (blocks of a group
+        #: share their watch tuple); ``_wake_for`` visits only the
+        #: tuples containing the woken stage — usually a single deque —
+        #: and merges multiple by the waiters' global park seq, so wake
+        #: order is identical to a full park scan.
+        self._watch_deques: dict[tuple[str, ...], deque[_Waiter]] = {}
+        #: Stage -> watch tuples (seen so far) that contain it.
+        self._stage_watch_tuples: dict[str, list[tuple[str, ...]]] = {}
+        self._park_seq = 0
+        #: Cancelled waiters still sitting in ``_waiters`` (compacted
+        #: lazily once they outnumber the live ones).
+        self._dead_waiters = 0
         self._peek_waiters: list[tuple[tuple[str, ...], Callable]] = []
         self._rr_cursor: dict[int, int] = {}
         #: Callbacks fired when a quiescence change may have freed blocks
@@ -194,7 +216,37 @@ class RunContext:
         call, so each distinct target is woken once per batch (repeat
         calls for the same stage would re-scan the waiter list and find
         nothing — resumes are deferred, no waiter re-parks in between).
+
+        When nothing observes individual pushes (no telemetry bus, no
+        request ledger), the batch is grouped by target stage and pushed
+        through the queue sets' bulk path: queue contents, depth peaks
+        and outstanding counters end up identical to the per-item path —
+        pushes only grow a queue, and no event can interleave mid-batch —
+        but the per-item bookkeeping runs once per target instead of
+        once per child.  With an observer attached the per-item path is
+        kept so the emitted push-event stream is unchanged.
         """
+        if self.queue_set.bus is None and self.request_tracker is None:
+            by_target: dict[str, list[object]] = {}
+            for target, item in children:
+                group = by_target.get(target)
+                if group is None:
+                    by_target[target] = [item]
+                else:
+                    group.append(item)
+            outstanding = self.outstanding
+            watchers = self._stage_watchers
+            for target, group in by_target.items():
+                self.queue_set.push_many(target, group, producer_sm)
+                n = len(group)
+                outstanding[target] += n
+                self.total_outstanding += n
+                for watch in watchers[target]:
+                    watch.outstanding += n
+            for target in by_target:
+                self._wake_for(target)
+            self._notify_peek_waiters(tuple(by_target))
+            return
         touched: dict[str, None] = {}
         for target, item in children:
             self._enqueue_one(target, item, producer_sm)
@@ -211,7 +263,7 @@ class RunContext:
             if any(
                 t in stages and self.queue_set.has_work(t) for t in touched
             ):
-                self.device.engine.schedule(0.0, lambda cb=callback: cb(True))
+                self.device.engine.schedule_call(0.0, callback, True)
             else:
                 remaining.append((stages, callback))
         self._peek_waiters = remaining
@@ -237,9 +289,19 @@ class RunContext:
             )
         self.outstanding[stage] -= n_items
         self.total_outstanding -= n_items
+        hit_zero = False
         for watch in self._stage_watchers[stage]:
             watch.outstanding -= n_items
-        self._check_quiescence()
+            if not watch.outstanding:
+                hit_zero = True
+        # A waiter can only be released when its watch counter reaches
+        # zero, and blocks never park on an already-quiescent watch
+        # (fetch_async / wait_for_work test quiescence before parking) —
+        # so unless some watch just hit zero here, or the whole run
+        # drained (the quiescence listeners' "done" signal), the full
+        # waiter scan cannot release anything and is skipped.
+        if hit_zero or self.total_outstanding == 0:
+            self._check_quiescence()
 
     # ------------------------------------------------------------------
     # Open-loop arrivals (serving mode).
@@ -343,7 +405,7 @@ class RunContext:
         released = False
         if self._waiters:
             verdicts: dict[tuple[str, ...], bool] = {}
-            schedule = self.device.engine.schedule
+            schedule_call = self.device.engine.schedule_call
             for waiter in self._waiters:
                 if waiter.cancelled:
                     continue
@@ -355,14 +417,14 @@ class RunContext:
                 if quiet:
                     waiter.cancelled = True
                     released = True
-                    resume = waiter.resume
-                    schedule(0.0, lambda r=resume: r(None))
+                    self._dead_waiters += 1
+                    schedule_call(0.0, waiter.resume, None)
         if self._peek_waiters:
             remaining = []
             for stages, callback in self._peek_waiters:
                 if self.is_quiescent(stages):
                     released = True
-                    self.device.engine.schedule(0.0, lambda cb=callback: cb(None))
+                    self.device.engine.schedule_call(0.0, callback, None)
                 else:
                     remaining.append((stages, callback))
             self._peek_waiters = remaining
@@ -371,6 +433,7 @@ class RunContext:
                 listener()
         if released:
             self._waiters = deque(w for w in self._waiters if not w.cancelled)
+            self._dead_waiters = 0
 
     # ------------------------------------------------------------------
     # Fetching (the task scheduler).
@@ -378,7 +441,7 @@ class RunContext:
     def _pick_queue(
         self, stages: tuple[str, ...], waiter_key: int
     ) -> Optional[str]:
-        has_work = self.queue_set.has_work
+        backlog = self._backlog
         if self.policy == "round_robin":
             # round_robin: rotate a per-block cursor over the watched stages.
             cursor = self._rr_cursor.get(waiter_key, 0)
@@ -387,7 +450,7 @@ class RunContext:
             )
             self._rr_cursor[waiter_key] = cursor + 1
             for s in ordered:
-                if has_work(s):
+                if backlog[s]:
                     return s
             return None
         # deepest_first / fifo reduce to a fixed preference order per
@@ -404,7 +467,7 @@ class RunContext:
             )
             self._order_cache[stages] = preference
         for s in preference:
-            if has_work(s):
+            if backlog[s]:
                 return s
         return None
 
@@ -434,14 +497,14 @@ class RunContext:
                     self.request_tracker.note_dequeued(
                         batch, self.device.engine.now
                     )
-                self.device.engine.schedule(
-                    0.0, lambda: resume((chosen, batch, cost))
+                self.device.engine.schedule_call(
+                    0.0, resume, (chosen, batch, cost)
                 )
                 return
         if self.is_quiescent(stages):
-            self.device.engine.schedule(0.0, lambda: resume(None))
+            self.device.engine.schedule_call(0.0, resume, None)
             return
-        self._waiters.append(
+        self._park(
             _Waiter(
                 stages=tuple(stages),
                 capacity_fn=capacity_fn,
@@ -449,6 +512,19 @@ class RunContext:
                 sm_id=sm_id,
             )
         )
+
+    def _park(self, waiter: _Waiter) -> None:
+        self._park_seq += 1
+        waiter.seq = self._park_seq
+        self._waiters.append(waiter)
+        dq = self._watch_deques.get(waiter.stages)
+        if dq is None:
+            dq = self._watch_deques[waiter.stages] = deque()
+            for stage in waiter.stages:
+                self._stage_watch_tuples.setdefault(stage, []).append(
+                    waiter.stages
+                )
+        dq.append(waiter)
 
     def wait_for_work(
         self, stages: tuple[str, ...], callback: Callable[[Optional[bool]], None]
@@ -460,10 +536,10 @@ class RunContext:
         whole waves rather than per-block batches.
         """
         if any(self.queue_set.has_work(s) for s in stages):
-            self.device.engine.schedule(0.0, lambda: callback(True))
+            self.device.engine.schedule_call(0.0, callback, True)
             return
         if self.is_quiescent(stages):
-            self.device.engine.schedule(0.0, lambda: callback(None))
+            self.device.engine.schedule_call(0.0, callback, None)
             return
         self._peek_waiters.append((tuple(stages), callback))
 
@@ -477,31 +553,83 @@ class RunContext:
         return drained
 
     def _wake_for(self, stage: str) -> None:
-        """Hand newly arrived work to parked blocks watching ``stage``."""
-        woke_any = False
-        for waiter in self._waiters:
-            if not self.queue_set.has_work(stage):
-                break
-            if waiter.cancelled or stage not in waiter.stages:
-                continue
-            batch, cost = self.queue_set.pop(
-                stage, waiter.capacity_fn(stage), waiter.sm_id
-            )
-            if not batch:
-                break
-            if self.request_tracker is not None:
-                self.request_tracker.note_dequeued(
-                    batch, self.device.engine.now
+        """Hand newly arrived work to parked blocks watching ``stage``.
+
+        Only the watch tuples containing ``stage`` are touched — almost
+        always one deque, whose order is the global park order
+        restricted to the stage; several tuples are merged by park seq,
+        which reproduces the same order.  Dead entries left behind in
+        ``_waiters`` by earlier wakes are compacted once they outnumber
+        the live waiters.
+        """
+        tuples = self._stage_watch_tuples.get(stage)
+        if not tuples:
+            return
+        queue_set = self.queue_set
+        backlog = self._backlog
+        watch_deques = self._watch_deques
+        poll_cycles = self.device.spec.queue_poll_cycles
+        schedule_call = self.device.engine.schedule_call
+        tracker = self.request_tracker
+        woke = 0
+        if len(tuples) == 1:
+            dq = watch_deques[tuples[0]]
+            while dq:
+                if not backlog[stage]:
+                    break
+                waiter = dq[0]
+                if waiter.cancelled:
+                    dq.popleft()
+                    continue
+                batch, cost = queue_set.pop(
+                    stage, waiter.capacity_fn(stage), waiter.sm_id
                 )
-            waiter.cancelled = True
-            woke_any = True
-            resume = waiter.resume
-            self.device.engine.schedule(
-                self.device.spec.queue_poll_cycles,
-                lambda r=resume, b=batch, c=cost: r((stage, b, c)),
-            )
-        if woke_any:
-            self._waiters = deque(w for w in self._waiters if not w.cancelled)
+                if not batch:
+                    break
+                if tracker is not None:
+                    tracker.note_dequeued(batch, self.device.engine.now)
+                dq.popleft()
+                waiter.cancelled = True
+                woke += 1
+                schedule_call(
+                    poll_cycles, waiter.resume, (stage, batch, cost)
+                )
+        else:
+            while backlog[stage]:
+                best: Optional[_Waiter] = None
+                best_dq = None
+                for tup in tuples:
+                    dq = watch_deques[tup]
+                    while dq and dq[0].cancelled:
+                        dq.popleft()
+                    if dq and (best is None or dq[0].seq < best.seq):
+                        best = dq[0]
+                        best_dq = dq
+                if best is None:
+                    break
+                batch, cost = queue_set.pop(
+                    stage, best.capacity_fn(stage), best.sm_id
+                )
+                if not batch:
+                    break
+                if tracker is not None:
+                    tracker.note_dequeued(batch, self.device.engine.now)
+                best_dq.popleft()
+                best.cancelled = True
+                woke += 1
+                schedule_call(
+                    poll_cycles, best.resume, (stage, batch, cost)
+                )
+        if woke:
+            self._dead_waiters += woke
+            if (
+                self._dead_waiters > 32
+                and self._dead_waiters * 2 > len(self._waiters)
+            ):
+                self._waiters = deque(
+                    w for w in self._waiters if not w.cancelled
+                )
+                self._dead_waiters = 0
 
     # ------------------------------------------------------------------
     # Queue-operation cost model (pushes; fetch costs come with the batch).
@@ -522,6 +650,9 @@ class RunContext:
             by_target[target] = by_target.get(target, 0) + 1
         spec = self.device.spec
         item_bytes = self._item_bytes
+        if len(by_target) == 1:
+            target, count = by_target.popitem()
+            return queue_op_cost(spec, item_bytes[target], count, contention)
         return sum(
             queue_op_cost(spec, item_bytes[target], count, contention)
             for target, count in by_target.items()

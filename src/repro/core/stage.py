@@ -31,7 +31,7 @@ from .errors import ExecutionError, PipelineDefinitionError
 OUTPUT = "__output__"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskCost:
     """Simulated cost of processing one data item in a stage.
 

@@ -25,7 +25,7 @@ if TYPE_CHECKING:
     from .sm import StreamingMultiprocessor
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Execute ``cycles_per_thread`` cycles of work on ``threads`` threads.
 
@@ -39,7 +39,7 @@ class Compute:
     min_cycles: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delay:
     """Pure latency (e.g. an atomic queue operation): the block is busy but
     consumes no SM compute lanes."""
@@ -47,7 +47,7 @@ class Delay:
     cycles: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Wait:
     """Suspend until external code resumes the block.
 
@@ -87,16 +87,30 @@ class ThreadBlock:
         self.finish_cycle: float | None = None
         self._compute_started_at: float | None = None
         self._pending_min_cycles: float = 0.0
+        #: The resume continuation, bound once: every Delay/Wait resume
+        #: reuses it instead of minting a new bound method (and, on the
+        #: typed engine path, a new closure) per command.
+        self._resume = self._advance
 
     @property
     def threads(self) -> int:
         return self.kernel.threads_per_block
 
     def start(self) -> None:
-        """Begin executing the block program (called by the SM on admit)."""
+        """Begin executing the block program (called by the SM on admit).
+
+        A factory may return ``None`` instead of a generator: it has then
+        started a *direct-style* program that drives itself through
+        callbacks (see ``PersistentGroupRunner``), uses
+        :meth:`begin_compute` for Compute segments, and calls
+        :meth:`_finish` itself when its loop exits.
+        """
         assert self.sm is not None, "block must be admitted to an SM first"
         self.start_cycle = self.sm.engine.now
-        self._program = self._program_factory(self)
+        program = self._program_factory(self)
+        if program is None:
+            return
+        self._program = program
         self._advance(None)
 
     def _advance(self, value: object) -> None:
@@ -112,6 +126,15 @@ class ThreadBlock:
         sm = self.sm
         assert sm is not None
         engine = sm.engine
+        # Exact-type checks first (the command vocabulary is closed and
+        # final in practice); isinstance only as a subclass fallback.
+        cls = command.__class__
+        if cls is Delay:
+            engine.schedule_call(command.cycles, self._resume, None)
+            return
+        if cls is Wait:
+            command.register(self._resume)
+            return
         if isinstance(command, Compute):
             threads = command.threads if command.threads is not None else self.threads
             if threads <= 0:
@@ -126,11 +149,28 @@ class ThreadBlock:
                 on_done=self._compute_done,
             )
         elif isinstance(command, Delay):
-            engine.schedule(command.cycles, lambda: self._advance(None))
+            engine.schedule_call(command.cycles, self._resume, None)
         elif isinstance(command, Wait):
-            command.register(self._advance)
+            command.register(self._resume)
         else:
             raise TypeError(f"unknown block command: {command!r}")
+
+    def begin_compute(
+        self, cycles_per_thread: float, threads: int, min_cycles: float
+    ) -> None:
+        """Direct-style Compute: charge the SM and resume ``self._resume``
+        when the work drains (exactly what ``_dispatch`` does for a
+        yielded :class:`Compute`, minus the command object)."""
+        sm = self.sm
+        assert sm is not None
+        self._compute_started_at = sm.engine.now
+        self._pending_min_cycles = min_cycles
+        sm.add_work(
+            self,
+            work=cycles_per_thread * threads,
+            threads=threads,
+            on_done=self._compute_done,
+        )
 
     def _compute_done(self) -> None:
         """Work drained; honour the min-duration constraint then resume."""
@@ -139,9 +179,9 @@ class ThreadBlock:
         elapsed = engine.now - self._compute_started_at
         remainder = self._pending_min_cycles - elapsed
         if remainder > 1e-9:
-            engine.schedule(remainder, lambda: self._advance(None))
+            engine.schedule_call(remainder, self._resume, None)
         else:
-            self._advance(None)
+            self._resume(None)
 
     def _finish(self) -> None:
         sm = self.sm

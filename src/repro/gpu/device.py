@@ -20,11 +20,11 @@ from typing import Callable, Optional, Sequence
 
 from ..obs.events import EventBus, HostSync, KernelLaunched, Memcpy
 from .block import BlockProgram, ThreadBlock
-from .engine import Engine
+from .engine import make_engine
 from .kernel import KernelSpec
 from .metrics import DeviceMetrics
 from .scheduler import HardwareScheduler, KernelLaunch, Stream
-from .sm import StreamingMultiprocessor
+from .sm import SMStateArrays, StreamingMultiprocessor
 from .specs import GPUSpec
 
 
@@ -33,21 +33,52 @@ class SimulationDeadlock(RuntimeError):
 
 
 class GPUDevice:
-    """A simulated GPU plus its host-side timeline."""
+    """A simulated GPU plus its host-side timeline.
 
-    def __init__(self, spec: GPUSpec) -> None:
+    ``engine`` injects a pre-built event engine; otherwise ``engine_kind``
+    (``"scalar"`` / ``"vector"``) is resolved through
+    :func:`repro.gpu.engine.make_engine` — explicit argument, then the
+    CLI's ``--engine`` default, then ``REPRO_ENGINE``, then the built-in
+    default (vector).
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        engine=None,
+        engine_kind: Optional[str] = None,
+    ) -> None:
         self.spec = spec
-        self.engine = Engine()
+        self.engine = engine if engine is not None else make_engine(engine_kind)
+        #: Device-level array clock state: per-SM occupancy counters in
+        #: flat numpy arrays, mirrored by the SMs (see
+        #: :class:`~repro.gpu.sm.SMStateArrays`).
+        self.sm_state = SMStateArrays(spec.num_sms)
+        #: Per-SM next-completion clock: slot *i* is SM *i*'s tick timer.
+        #: On the vector engine this is a numpy
+        #: :class:`~repro.gpu.engine.VectorTimerBank` — ``sm_clock.times``
+        #: holds every SM's next completion time and the engine advances
+        #: to its minimum, retiring same-time completions in bulk.
+        self.sm_clock = self.engine.timer_bank(spec.num_sms)
         self.sms = [
-            StreamingMultiprocessor(i, spec, self.engine) for i in range(spec.num_sms)
+            StreamingMultiprocessor(
+                i, spec, self.engine, tick_bank=self.sm_clock, state=self.sm_state
+            )
+            for i in range(spec.num_sms)
         ]
-        self.scheduler = HardwareScheduler(self.sms)
+        self.scheduler = HardwareScheduler(self.sms, state=self.sm_state)
         self.metrics = DeviceMetrics()
         self.default_stream = Stream(self.scheduler)
         #: Host-side clock, in device cycles.  Models advance it as they
         #: perform host work (launch calls, synchronisation, memcpys).
         self.host_time = 0.0
         self._launches: list[KernelLaunch] = []
+        #: Launches issued but not yet complete, with a one-element flag
+        #: mirror for the engine's ``until_flag`` fast stop check:
+        #: ``synchronize`` runs the engine against the flag (a per-event
+        #: list index) instead of re-scanning every launch per event.
+        self._incomplete_launches = 0
+        self._idle_flag: list[bool] = [True]
         #: Optional telemetry bus (see :meth:`attach_observer`).  Every
         #: emitter guards on ``None`` so no event objects are allocated
         #: unless an observer subscribed — tracing is zero-cost when off.
@@ -100,10 +131,15 @@ class GPUDevice:
         self.metrics.blocks_launched += num_blocks
         if on_complete is not None:
             launch.add_completion_callback(on_complete)
+        # Track completion incrementally (an empty grid completes inside
+        # the add_completion_callback call, so count it first).
+        self._incomplete_launches += 1
+        self._idle_flag[0] = False
+        launch.add_completion_callback(self._note_launch_done)
         arrival = launch.issue_cycle + self.spec.us_to_cycles(
             self.spec.launch_latency_us
         )
-        self.engine.schedule_at(arrival, lambda: stream.enqueue(launch))
+        self.engine.schedule_call_at(arrival, stream.enqueue, launch)
         self._launches.append(launch)
         if self.obs is not None:
             self.obs.emit(
@@ -120,12 +156,17 @@ class GPUDevice:
     # ------------------------------------------------------------------
     # Synchronisation.
     # ------------------------------------------------------------------
+    def _note_launch_done(self, launch: KernelLaunch) -> None:
+        self._incomplete_launches -= 1
+        if self._incomplete_launches == 0:
+            self._idle_flag[0] = True
+
     def _all_done(self) -> bool:
         return all(launch.done for launch in self._launches)
 
     def synchronize(self, charge_host: bool = True) -> None:
         """Run the engine until every issued launch has completed."""
-        self.engine.run(until=self._all_done)
+        self.engine.run(until_flag=self._idle_flag)
         if not self._all_done():
             pending = [launch for launch in self._launches if not launch.done]
             raise SimulationDeadlock(

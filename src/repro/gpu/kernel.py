@@ -33,6 +33,24 @@ class KernelSpec:
             raise ValueError("threads_per_block must be positive")
         if self.shared_mem_per_block < 0:
             raise ValueError("shared_mem_per_block must be >= 0")
+        # Specs key several per-SM memo tables that are consulted on the
+        # simulator's hot path; precompute the (field-tuple) hash once.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.name,
+                    self.registers_per_thread,
+                    self.threads_per_block,
+                    self.shared_mem_per_block,
+                    self.code_bytes,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def fused_with(self, other: "KernelSpec", name: str | None = None) -> "KernelSpec":
         """Resource usage of a kernel containing both this and ``other``.

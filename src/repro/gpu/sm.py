@@ -34,9 +34,11 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Callable, Optional
 
+import numpy as np
+
 from ..obs.events import BlockAdmitted, BlockExited, ComputeSegment, EventBus
 from .block import ThreadBlock
-from .engine import Engine, Timer
+from .engine import Engine
 from .kernel import KernelSpec
 from .occupancy import registers_per_block, shared_mem_per_block
 from .specs import GPUSpec
@@ -45,6 +47,38 @@ if TYPE_CHECKING:
     from .tracing import Tracer
 
 _EPS = 1e-7
+
+
+class SMStateArrays:
+    """Device-level array clock state: per-SM occupancy counters in flat
+    numpy arrays.
+
+    Each SM mirrors its (authoritative, plain-``int``) counters here on
+    every admission/retirement and residency change, so the hardware
+    scheduler picks a target SM with a handful of vectorized capacity
+    masks instead of a Python loop over every SM, and tooling can
+    snapshot whole-device occupancy without a per-SM scan.  The SMs keep
+    native ints for the throughput math itself — the share/rate float
+    expressions must stay byte-for-byte, and numpy scalars must never
+    leak into metrics payloads.
+    """
+
+    __slots__ = (
+        "threads_used",
+        "registers_used",
+        "shared_mem_used",
+        "resident_blocks",
+        "resident_warps",
+        "active_threads",
+    )
+
+    def __init__(self, num_sms: int) -> None:
+        self.threads_used = np.zeros(num_sms, dtype=np.int64)
+        self.registers_used = np.zeros(num_sms, dtype=np.int64)
+        self.shared_mem_used = np.zeros(num_sms, dtype=np.int64)
+        self.resident_blocks = np.zeros(num_sms, dtype=np.int64)
+        self.resident_warps = np.zeros(num_sms, dtype=np.int64)
+        self.active_threads = np.zeros(num_sms, dtype=np.int64)
 
 
 class _KernelFootprint:
@@ -93,7 +127,14 @@ class _Segment:
 class StreamingMultiprocessor:
     """One SM: admission control plus a shared compute pipeline."""
 
-    def __init__(self, sm_id: int, spec: GPUSpec, engine: Engine) -> None:
+    def __init__(
+        self,
+        sm_id: int,
+        spec: GPUSpec,
+        engine: Engine,
+        tick_bank=None,
+        state: Optional[SMStateArrays] = None,
+    ) -> None:
         self.sm_id = sm_id
         self.spec = spec
         self.engine = engine
@@ -103,15 +144,22 @@ class StreamingMultiprocessor:
         self.resident_blocks: list[ThreadBlock] = []
         self._segments: dict[int, _Segment] = {}
         self._last_sync = 0.0
-        self._tick_timer: Timer = engine.timer(self._tick)
+        #: Next-completion tick: slot ``sm_id`` of the device's timer
+        #: bank when one is provided (the array clock — on the vector
+        #: engine the device advances to ``bank.times.min()`` and retires
+        #: same-time completions in bulk), else a standalone timer.
+        if tick_bank is not None:
+            self._tick_timer = tick_bank.timer(sm_id, self._tick)
+        else:
+            self._tick_timer = engine.timer(self._tick)
+        #: Device-level occupancy mirror (see :class:`SMStateArrays`).
+        self._state = state
         self.on_retire: Optional[Callable[[ThreadBlock], None]] = None
         #: Optional execution tracer (set via GPUDevice.enable_tracing).
         self.tracer: Optional[Tracer] = None
         #: Optional telemetry bus (set via GPUDevice.attach_observer).
         #: Every emission is guarded so nothing is allocated when unset.
         self.obs: Optional[EventBus] = None
-        #: Per-kernel derived-value memo (see module docstring).
-        self._footprints: dict[KernelSpec, _KernelFootprint] = {}
         #: Incrementally maintained totals (admission / throughput).
         self._resident_warps = 0
         self._active_threads = 0
@@ -120,10 +168,16 @@ class StreamingMultiprocessor:
         self.blocks_admitted = 0
 
     def _footprint(self, kernel: KernelSpec) -> _KernelFootprint:
-        fp = self._footprints.get(kernel)
-        if fp is None:
-            fp = _KernelFootprint(kernel, self.spec)
-            self._footprints[kernel] = fp
+        # The footprint depends only on (kernel, device spec), so it is
+        # cached on the kernel object itself (admission and add_work
+        # consult it per call; a dict lookup would hash the spec's five
+        # fields every time).  The spec guard keeps multi-device setups
+        # with differing specs correct — they just re-derive on switch.
+        cached = getattr(kernel, "_fp_cache", None)
+        if cached is not None and cached[0] is self.spec:
+            return cached[1]
+        fp = _KernelFootprint(kernel, self.spec)
+        object.__setattr__(kernel, "_fp_cache", (self.spec, fp))
         return fp
 
     # ------------------------------------------------------------------
@@ -154,6 +208,8 @@ class StreamingMultiprocessor:
         self._resident_warps += fp.warps
         self.resident_blocks.append(block)
         self.blocks_admitted += 1
+        if self._state is not None:
+            self._mirror_occupancy()
         block.sm = self
         if self.obs is not None:
             self.obs.emit(
@@ -176,6 +232,8 @@ class StreamingMultiprocessor:
         self.shared_mem_used -= fp.shared_mem
         self.threads_used -= fp.threads
         self._resident_warps -= fp.warps
+        if self._state is not None:
+            self._mirror_occupancy()
         if self.obs is not None:
             self.obs.emit(
                 BlockExited(
@@ -187,6 +245,17 @@ class StreamingMultiprocessor:
             )
         if self.on_retire is not None:
             self.on_retire(block)
+
+    def _mirror_occupancy(self) -> None:
+        """Publish the admission counters into the device state arrays."""
+        state = self._state
+        assert state is not None
+        i = self.sm_id
+        state.threads_used[i] = self.threads_used
+        state.registers_used[i] = self.registers_used
+        state.shared_mem_used[i] = self.shared_mem_used
+        state.resident_blocks[i] = len(self.resident_blocks)
+        state.resident_warps[i] = self._resident_warps
 
     # ------------------------------------------------------------------
     # Processor-sharing compute model.
@@ -207,7 +276,7 @@ class StreamingMultiprocessor:
         if work <= _EPS:
             # Zero-cost compute completes immediately (but asynchronously,
             # to keep the event ordering uniform).
-            self.engine.schedule(0.0, on_done)
+            self.engine.schedule_call(0.0, on_done)
             return
         seg = _Segment(
             block,
@@ -219,6 +288,8 @@ class StreamingMultiprocessor:
         )
         self._segments[block.block_id] = seg
         self._active_threads += threads
+        if self._state is not None:
+            self._state.active_threads[self.sm_id] = self._active_threads
         self._reschedule()
 
     def active_threads(self) -> int:
@@ -243,7 +314,8 @@ class StreamingMultiprocessor:
         if elapsed > 0:
             for seg in self._segments.values():
                 drained = seg.rate * elapsed
-                seg.remaining = max(0.0, seg.remaining - drained)
+                rem = seg.remaining - drained
+                seg.remaining = rem if rem > 0.0 else 0.0
                 self.busy_lane_cycles += drained
         self._last_sync = now
 
@@ -262,7 +334,10 @@ class StreamingMultiprocessor:
         # bit-identical-schedule guarantee pinned by the golden tests.
         for seg in segments.values():
             share = lanes * (seg.threads / total_threads) if total_threads else 0.0
-            rate = min(float(seg.threads), share) / seg.icache_factor
+            # min(float(threads), share) written as a branch; value is
+            # bit-identical either way.
+            ft = float(seg.threads)
+            rate = (ft if ft <= share else share) / seg.icache_factor
             seg.rate = rate
             if rate > 0:
                 candidate = seg.remaining / rate
@@ -307,6 +382,8 @@ class StreamingMultiprocessor:
                         work=seg.work,
                     )
                 )
+        if finished and self._state is not None:
+            self._state.active_threads[self.sm_id] = self._active_threads
         # Resuming blocks may add new segments (each add calls _reschedule);
         # make sure we also reschedule when nothing was added back.
         for seg in finished:

@@ -8,7 +8,10 @@ drive throughput, and the host-side overheads (kernel launch, stream sync)
 that drive the kernel-by-kernel model's costs.
 
 Two presets match the paper's evaluation hardware: Tesla K20c (13 SMs,
-Kepler SMX) and GeForce GTX 1080 (20 SMs, Pascal).
+Kepler SMX) and GeForce GTX 1080 (20 SMs, Pascal).  Five more presets
+(H100, A100, V100, T4, MI250X) follow the PP-Gaia reproducibility table
+so ``repro bench --device all`` sweeps the pipeline models across
+architectures from Kepler to Hopper and CDNA 2.
 """
 
 from __future__ import annotations
@@ -80,6 +83,12 @@ class GPUSpec:
     pcie_gbps: float = 6.0
     #: Fixed latency of one host<->device copy, in microseconds.
     pcie_latency_us: float = 8.0
+    #: Global memory capacity in GB and its technology (documentation for
+    #: device listings; the simulator does not model capacity pressure).
+    memory_gb: float = 5.0
+    memory_type: str = "GDDR5"
+    #: Last-level (L2) cache size in bytes.
+    l2_bytes: int = 1536 * 1024
 
     def us_to_cycles(self, us: float) -> float:
         """Convert microseconds to cycles of this device's clock."""
@@ -120,6 +129,9 @@ K20C = GPUSpec(
     kernel_launch_us=6.0,
     launch_latency_us=3.0,
     sync_overhead_us=8.0,
+    memory_gb=5.0,
+    memory_type="GDDR5",
+    l2_bytes=1280 * 1024,
 )
 
 #: GeForce GTX 1080: 20 Pascal SMs.  Higher clock, better latency hiding
@@ -142,9 +154,149 @@ GTX1080 = GPUSpec(
     sync_overhead_us=5.0,
     pcie_gbps=11.0,
     pcie_latency_us=6.0,
+    memory_gb=8.0,
+    memory_type="GDDR5X",
+    l2_bytes=2 * 1024 * 1024,
 )
 
-PRESETS = {spec.name: spec for spec in (K20C, GTX1080)}
+#: The PP-Gaia cross-architecture table.  SM counts derive from the
+#: table's core counts divided by cores-per-SM for each architecture
+#: (Hopper/Ampere/Volta/Turing: 128/64/64/64 FP32 lanes per SM; CDNA 2:
+#: 64 lanes per CU with 64-wide wavefronts).  Occupancy limits, clocks,
+#: memory and L2 sizes follow the table and the vendors' whitepapers;
+#: launch/sync overheads shrink with driver generation.
+
+#: NVIDIA H100 SXM (Hopper): 132 SMs x 128 cores = 16896.
+H100 = GPUSpec(
+    name="H100",
+    num_sms=132,
+    registers_per_sm=65536,
+    register_granularity=256,
+    shared_mem_per_sm=228 * 1024,
+    shared_mem_granularity=128,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    cores_per_sm=128,
+    warps_for_peak=12,
+    clock_ghz=1.980,
+    kernel_launch_us=3.0,
+    launch_latency_us=1.5,
+    sync_overhead_us=4.0,
+    icache_bytes=32 * 1024,
+    pcie_gbps=55.0,
+    pcie_latency_us=4.0,
+    memory_gb=96.0,
+    memory_type="HBM3",
+    l2_bytes=60 * 1024 * 1024,
+)
+
+#: NVIDIA A100 (Ampere, full GA100 configuration): 124 SMs x 64 = 7936.
+A100 = GPUSpec(
+    name="A100",
+    num_sms=124,
+    registers_per_sm=65536,
+    register_granularity=256,
+    shared_mem_per_sm=164 * 1024,
+    shared_mem_granularity=128,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    cores_per_sm=64,
+    warps_for_peak=12,
+    clock_ghz=1.395,
+    kernel_launch_us=3.5,
+    launch_latency_us=1.8,
+    sync_overhead_us=4.5,
+    icache_bytes=32 * 1024,
+    pcie_gbps=24.0,
+    pcie_latency_us=5.0,
+    memory_gb=64.0,
+    memory_type="HBM2e",
+    l2_bytes=32 * 1024 * 1024,
+)
+
+#: NVIDIA V100 (Volta): 80 SMs x 64 = 5120.
+V100 = GPUSpec(
+    name="V100",
+    num_sms=80,
+    registers_per_sm=65536,
+    register_granularity=256,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_granularity=256,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    warp_size=32,
+    cores_per_sm=64,
+    warps_for_peak=14,
+    clock_ghz=1.597,
+    kernel_launch_us=4.0,
+    launch_latency_us=2.0,
+    sync_overhead_us=5.0,
+    icache_bytes=12 * 1024,
+    pcie_gbps=12.0,
+    pcie_latency_us=6.0,
+    memory_gb=32.0,
+    memory_type="HBM2",
+    l2_bytes=6 * 1024 * 1024,
+)
+
+#: NVIDIA Tesla T4 (Turing): 40 SMs x 64 = 2560.  Turing caps resident
+#: threads per SM at 1024.
+T4 = GPUSpec(
+    name="T4",
+    num_sms=40,
+    registers_per_sm=65536,
+    register_granularity=256,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_granularity=256,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=16,
+    warp_size=32,
+    cores_per_sm=64,
+    warps_for_peak=12,
+    clock_ghz=1.590,
+    kernel_launch_us=4.0,
+    launch_latency_us=2.0,
+    sync_overhead_us=5.0,
+    icache_bytes=12 * 1024,
+    pcie_gbps=12.0,
+    pcie_latency_us=6.0,
+    memory_gb=16.0,
+    memory_type="GDDR6",
+    l2_bytes=4 * 1024 * 1024,
+)
+
+#: AMD Instinct MI250X, one GCD (CDNA 2): 110 CUs, 64-wide wavefronts,
+#: 512 KB vector register file per CU (128K 32-bit registers).
+MI250X = GPUSpec(
+    name="MI250X",
+    num_sms=110,
+    registers_per_sm=131072,
+    register_granularity=512,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_granularity=256,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    warp_size=64,
+    cores_per_sm=64,
+    warps_for_peak=8,
+    clock_ghz=1.700,
+    kernel_launch_us=5.0,
+    launch_latency_us=2.5,
+    sync_overhead_us=6.0,
+    icache_bytes=32 * 1024,
+    pcie_gbps=36.0,
+    pcie_latency_us=5.0,
+    memory_gb=64.0,
+    memory_type="HBM2e",
+    l2_bytes=8 * 1024 * 1024,
+)
+
+PRESETS = {
+    spec.name: spec
+    for spec in (K20C, GTX1080, H100, A100, V100, T4, MI250X)
+}
 
 
 def get_spec(name: str) -> GPUSpec:

@@ -133,8 +133,13 @@ class ServeReport:
         self.arrivals.merge(other.arrivals)
         self.completions.merge(other.completions)
         self.good_completions.merge(other.good_completions)
-        if self.slo.completed == 0 and other.slo.completed > 0:
-            self.slo.slo_ms = other.slo.slo_ms
+        # Adopt the other side's budget whenever ours is still the
+        # default-constructed 0.0 — even if the other side completed
+        # nothing, its budget is real and the merged attainment /
+        # goodput must be judged against it.
+        if self.slo.completed == 0 and self.slo.slo_ms == 0.0:
+            if other.slo.slo_ms != 0.0:
+                self.slo.slo_ms = other.slo.slo_ms
         self.slo.merge(other.slo)
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.models.kbk import KBKModel
+from ..core.models.sm_bound import fit_fine_block_map
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
@@ -442,7 +443,11 @@ def versapipe_config(
                 stages=("step_factor", "flux", "time_step"),
                 model="fine",
                 sm_ids=tuple(range(spec.num_sms)),
-                block_map={"step_factor": 1, "flux": 1, "time_step": 1},
+                block_map=fit_fine_block_map(
+                    pipeline,
+                    spec,
+                    {"step_factor": 1, "flux": 1, "time_step": 1},
+                ),
             ),
         ),
     )

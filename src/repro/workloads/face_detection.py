@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.models.kbk import KBKModel
+from ..core.models.sm_bound import fit_fine_block_map
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
@@ -523,13 +524,17 @@ def versapipe_config(
                 stages=("grayscale", "histeq", "resize"),
                 model="fine",
                 sm_ids=tuple(range(front)),
-                block_map={"grayscale": 1, "histeq": 1, "resize": 1},
+                block_map=fit_fine_block_map(
+                    pipeline, spec, {"grayscale": 1, "histeq": 1, "resize": 1}
+                ),
             ),
             GroupConfig(
                 stages=("feature", "scanning"),
                 model="fine",
                 sm_ids=tuple(range(front, spec.num_sms)),
-                block_map={"feature": 1, "scanning": 3},
+                block_map=fit_fine_block_map(
+                    pipeline, spec, {"feature": 1, "scanning": 3}
+                ),
             ),
         ),
     )

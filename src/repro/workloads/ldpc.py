@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.models.kbk import KBKModel
+from ..core.models.sm_bound import fit_fine_block_map
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
@@ -453,12 +454,11 @@ def versapipe_config(
                 stages=("initialize", "c2v", "v2c", "probvar"),
                 model="fine",
                 sm_ids=tuple(range(spec.num_sms)),
-                block_map={
-                    "initialize": 1,
-                    "c2v": 2,
-                    "v2c": 1,
-                    "probvar": 1,
-                },
+                block_map=fit_fine_block_map(
+                    pipeline,
+                    spec,
+                    {"initialize": 1, "c2v": 2, "v2c": 1, "probvar": 1},
+                ),
             ),
         ),
     )

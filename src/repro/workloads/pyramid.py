@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.models.kbk import KBKModel
+from ..core.models.sm_bound import fit_fine_block_map
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
@@ -283,7 +284,9 @@ def versapipe_config(
                 stages=("histeq", "resize"),
                 model="fine",
                 sm_ids=tuple(range(gray_sms, spec.num_sms)),
-                block_map={"histeq": 2, "resize": 2},
+                block_map=fit_fine_block_map(
+                    pipeline, spec, {"histeq": 2, "resize": 2}
+                ),
             ),
         ),
     )

@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.models.kbk import KBKModel
+from ..core.models.sm_bound import fit_fine_block_map
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
@@ -364,7 +365,11 @@ def versapipe_config(
                 stages=("clip", "interpolate", "shade_pixels"),
                 model="fine",
                 sm_ids=tuple(range(spec.num_sms)),
-                block_map={"clip": 1, "interpolate": 2, "shade_pixels": 2},
+                block_map=fit_fine_block_map(
+                    pipeline,
+                    spec,
+                    {"clip": 1, "interpolate": 2, "shade_pixels": 2},
+                ),
             ),
         ),
     )

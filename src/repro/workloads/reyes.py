@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.models.kbk import KBKModel
+from ..core.models.sm_bound import fit_fine_block_map
 from ..core.pipeline import Pipeline
 from ..core.stage import OUTPUT, Stage, TaskCost
 from ..gpu.specs import GPUSpec
@@ -464,7 +465,9 @@ def versapipe_config(
                 stages=("split", "dice"),
                 model="fine",
                 sm_ids=tuple(range(spec.num_sms - shade_sms)),
-                block_map={"split": 1, "dice": 1},
+                block_map=fit_fine_block_map(
+                    pipeline, spec, {"split": 1, "dice": 1}
+                ),
             ),
             GroupConfig(
                 stages=("shade",),

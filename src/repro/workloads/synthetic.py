@@ -85,7 +85,7 @@ class SyntheticParams:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _SyntheticItem:
     """A payload carrying its own provenance (for deterministic hashing)."""
 
@@ -156,6 +156,47 @@ class _SyntheticStage(Stage):
                 ctx.emit_output(payload)
             else:
                 ctx.emit(self._next, payload)
+
+    def execute_batch(self, items, ctxs):
+        """Batched drain, specialised for the flat slice of the space.
+
+        With no recursion, no fractional fan-out and no cost imbalance,
+        every item deterministically emits ``int(fan_out)`` children and
+        costs the shared flat :class:`TaskCost` — the per-item hash draws
+        and the generic ``execute``/``cost`` dispatch can be skipped
+        wholesale.  Emissions and costs are exactly what the scalar path
+        produces (pinned by ``tests/test_batch_equivalence.py``);
+        anything off the flat slice falls back to the generic loop.
+        """
+        spec = self._spec
+        flat = self._flat_cost
+        count = int(spec.fan_out)
+        if (
+            flat is None
+            or spec.recursion_prob > 0
+            or spec.fan_out != count
+        ):
+            return super().execute_batch(items, ctxs)
+        nxt = self._next
+        if nxt is None:
+            for item, ctx in zip(items, ctxs):
+                token = item.token
+                ctx.outputs.extend(
+                    _SyntheticItem(f"{token}.{c}", 0) for c in range(count)
+                )
+        elif count == 1:
+            for item, ctx in zip(items, ctxs):
+                ctx.children.append(
+                    (nxt, _SyntheticItem(item.token + ".0", 0))
+                )
+        else:
+            for item, ctx in zip(items, ctxs):
+                token = item.token
+                ctx.children.extend(
+                    (nxt, _SyntheticItem(f"{token}.{c}", 0))
+                    for c in range(count)
+                )
+        return [flat] * len(items)
 
     def cost(self, item: _SyntheticItem) -> TaskCost:
         if self._flat_cost is not None:

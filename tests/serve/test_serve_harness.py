@@ -77,6 +77,36 @@ class TestMergeServeReports:
         for p in (50, 99, 99.9):
             assert merged.latency.percentile(p) == base.latency.percentile(p)
 
+    def test_merge_carries_slo_rollup(self):
+        # The merged report must expose the cross-cell SLO view: the
+        # attainment over every completed request and goodput over the
+        # summed cell durations (this is what BENCH_serve.json's
+        # ``merged`` leaf records).
+        plan = plan_serve(
+            ["ldpc", "reyes"], "poisson:0.5", 5.0, 5.0, seed=3
+        )
+        reports = [serve_workload(config) for config in plan]
+        merged = merge_serve_reports(reports)
+        good = sum(r.slo.good for r in reports)
+        completed = sum(r.slo.completed for r in reports)
+        assert merged.slo.slo_ms == reports[0].slo.slo_ms
+        assert merged.slo.attainment == pytest.approx(good / completed)
+        assert merged.goodput_per_ms == pytest.approx(
+            good / sum(r.duration_ms for r in reports)
+        )
+
+    def test_merge_adopts_budget_from_empty_cell(self):
+        # A cell that completed nothing still carries a real budget; a
+        # default-constructed accumulator must adopt it so later merges
+        # judge attainment against the right SLO.
+        from repro.serve.report import ServeReport
+        from repro.serve.slo import SLOTracker
+
+        empty = ServeReport(duration_ms=5.0, slo=SLOTracker(slo_ms=7.5))
+        acc = ServeReport()
+        acc.merge(empty)
+        assert acc.slo.slo_ms == 7.5
+
     def test_merge_empty(self):
         merged = merge_serve_reports([])
         assert merged.requests == 0

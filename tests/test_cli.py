@@ -321,7 +321,9 @@ class TestBench:
         )
         assert code == 0
         assert "[K20c]" in out and "[GTX1080]" in out
-        assert "suite: 6 cells" in out
+        # The PP-Gaia presets joined the sweep: 7 devices x 3 models.
+        assert "[H100]" in out and "[T4]" in out and "[MI250X]" in out
+        assert "suite: 21 cells" in out
 
     def test_bench_unknown_workload_raises(self, capsys):
         with pytest.raises(KeyError):
