@@ -356,6 +356,26 @@ def cmd_stats(args) -> int:
         f"batching: batch-size={size}; workers={workers}; "
         f"replay cache: {replay}"
     )
+    if getattr(args, "cache_dir", None):
+        from .harness.runner import tune_workload
+
+        cache_dir = os.path.expanduser(args.cache_dir)
+        tuned = tune_workload(
+            spec.name,
+            gpu,
+            params,
+            options=TunerOptions(
+                max_configs=args.tune_budget, cache_dir=cache_dir
+            ),
+            batch_size=batch_size,
+            cache=cache,
+        )
+        report = tuned.report
+        print(
+            f"tuner: best {report.best_time_ms:.3f} ms with "
+            f"{report.best_config.describe()}; "
+            f"cache: {report.cache_stats.describe()} ({cache_dir})"
+        )
     _write_outputs(args, observer, result)
     return 0
 
@@ -380,6 +400,8 @@ def cmd_tune(args) -> int:
             workers=args.workers,
             cache_dir=cache_dir,
             dominance_pruning=not args.no_dominance,
+            prefix_frac=None if args.no_prefix else args.prefix_frac,
+            halving_rungs=args.halving_rungs,
         ),
         batch_size=batch_size,
         cache=cache,
@@ -388,9 +410,14 @@ def cmd_tune(args) -> int:
     print(f"profiled {tuned.profiled_tasks} tasks")
     print(report.summary())
     if cache_dir is not None:
+        print(f"cache: {report.cache_stats.describe()} ({cache_dir})")
+    if args.explain:
+        provenance = report.provenance()
         print(
-            f"cache: {report.cache_hits} hits / {report.cache_misses} misses"
-            f" ({cache_dir})"
+            "prune provenance: "
+            + ", ".join(f"{k}={v}" for k, v in provenance.items())
+            + f" (sums to {sum(provenance.values())}"
+            f" of {report.num_evaluated})"
         )
     if args.report_json:
         stats = TunerStats.from_report(
@@ -659,6 +686,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the throughput-bound dominance cut",
     )
     tune.add_argument(
+        "--prefix-frac",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="fraction of the recorded trace raced in the first prefix "
+        "rung (default 0.25); the winner is always validated on the "
+        "full trace",
+    )
+    tune.add_argument(
+        "--halving-rungs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="successive-halving prefix rungs before the full-trace "
+        "rung (default 1)",
+    )
+    tune.add_argument(
+        "--no-prefix",
+        action="store_true",
+        help="disable prefix racing; every candidate replays the full "
+        "trace",
+    )
+    tune.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-candidate prune provenance breakdown",
+    )
+    tune.add_argument(
         "--report-json",
         metavar="PATH",
         nargs="?",
@@ -807,6 +862,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs(stats)
     stats.add_argument(
         "--model", default="versapipe", choices=_MODEL_CHOICES
+    )
+    stats.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        nargs="?",
+        const=_DEFAULT_TUNER_CACHE,
+        default=None,
+        help="also run the offline auto-tuner against this persistent "
+        "profile cache and report its per-run cache deltas "
+        f"(default PATH: {_DEFAULT_TUNER_CACHE})",
+    )
+    stats.add_argument(
+        "--tune-budget",
+        type=_positive_int,
+        default=40,
+        metavar="N",
+        help="max configurations for the --cache-dir tuner pass "
+        "(default 40)",
     )
     return parser
 

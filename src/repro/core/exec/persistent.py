@@ -29,6 +29,47 @@ from ..runcontext import RunContext
 from ..stage import TaskCost
 
 
+#: Code size of the persistent scheduling loop added to fused kernels.
+SCHEDULER_CODE_BYTES = 1536
+
+
+def fused_group_kernel(pipeline, stages, model: str) -> KernelSpec:
+    """The fused :class:`KernelSpec` for a megakernel/rtc stage group.
+
+    Shared between the runner (which launches it) and the tuner's
+    dominance bound (``repro.core.tuner.space``, which needs the same
+    occupancy) so the two can never drift: scheduler code bytes are
+    added for multi-stage fusions, and a pipeline-declared
+    ``fused_registers`` override applies when the group spans every
+    stage.
+    """
+    specs = [pipeline.stage(s).kernel_spec() for s in stages]
+    prefix = "mk" if model == "megakernel" else "rtc"
+    fused = fuse_specs(specs, name=f"{prefix}:{'+'.join(stages)}")
+    if len(stages) > 1:
+        fused = KernelSpec(
+            name=fused.name,
+            registers_per_thread=fused.registers_per_thread,
+            threads_per_block=fused.threads_per_block,
+            shared_mem_per_block=fused.shared_mem_per_block,
+            code_bytes=fused.code_bytes + SCHEDULER_CODE_BYTES,
+        )
+    if (
+        pipeline.fused_registers is not None
+        and set(stages) == set(pipeline.stage_names)
+    ):
+        fused = KernelSpec(
+            name=fused.name,
+            registers_per_thread=max(
+                fused.registers_per_thread, pipeline.fused_registers
+            ),
+            threads_per_block=fused.threads_per_block,
+            shared_mem_per_block=fused.shared_mem_per_block,
+            code_bytes=fused.code_bytes,
+        )
+    return fused
+
+
 def locality_adjusted(
     cost: TaskCost, producer_sm: Optional[int], current_sm: int, l1_bonus: float
 ) -> float:
@@ -68,36 +109,17 @@ class PersistentGroupRunner:
     # ------------------------------------------------------------------
     # Launch plan.
     # ------------------------------------------------------------------
-    #: Code size of the persistent scheduling loop added to fused kernels.
-    SCHEDULER_CODE_BYTES = 1536
+    #: Code size of the persistent scheduling loop added to fused kernels
+    #: (kept as a class attribute for API stability; the value lives at
+    #: module level so :func:`fused_group_kernel` can share it).
+    SCHEDULER_CODE_BYTES = SCHEDULER_CODE_BYTES
 
     def fused_kernel(self) -> KernelSpec:
         if self._fused_kernel is not None:
             return self._fused_kernel
-        specs = [self.pipeline.stage(s).kernel_spec() for s in self.group.stages]
-        prefix = "mk" if self.group.model == "megakernel" else "rtc"
-        fused = fuse_specs(specs, name=f"{prefix}:{'+'.join(self.group.stages)}")
-        if len(self.group.stages) > 1:
-            fused = KernelSpec(
-                name=fused.name,
-                registers_per_thread=fused.registers_per_thread,
-                threads_per_block=fused.threads_per_block,
-                shared_mem_per_block=fused.shared_mem_per_block,
-                code_bytes=fused.code_bytes + self.SCHEDULER_CODE_BYTES,
-            )
-        if (
-            self.pipeline.fused_registers is not None
-            and set(self.group.stages) == set(self.pipeline.stage_names)
-        ):
-            fused = KernelSpec(
-                name=fused.name,
-                registers_per_thread=max(
-                    fused.registers_per_thread, self.pipeline.fused_registers
-                ),
-                threads_per_block=fused.threads_per_block,
-                shared_mem_per_block=fused.shared_mem_per_block,
-                code_bytes=fused.code_bytes,
-            )
+        fused = fused_group_kernel(
+            self.pipeline, self.group.stages, self.group.model
+        )
         self._fused_kernel = fused
         return fused
 

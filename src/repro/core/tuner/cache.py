@@ -24,8 +24,9 @@ entry at once.
 
 Entries record one of three outcomes:
 
-* ``completed`` — the replayed time in ms plus the queue-pressure
-  summary;
+* ``completed`` — the replayed time in ms, the elapsed engine cycles
+  (exact, for the tuner's canonical deadline normalization) and the
+  queue-pressure summary;
 * ``invalid`` — the configuration failed validation (deadline
   independent, always reusable);
 * ``timeout`` — the replay ran past ``exceeded_cycles``.  A timeout
@@ -35,6 +36,15 @@ Entries record one of three outcomes:
 
 Writes are atomic (temp file + ``os.replace``) so concurrent tuner
 workers sharing one cache directory never observe torn entries.
+
+On top of the disk store each :class:`ProfileCache` keeps a bounded
+in-memory layer, and :func:`shared_cache` hands every process one cache
+object per ``(root, space key)`` — so a persistent pool worker that
+re-searches the same space skips even the JSON reads.  Because those
+shared objects (and their hit/miss counters) outlive a dispatch, shard
+code must report *per-dispatch deltas* — snapshot :meth:`stats` before,
+subtract after — never the lifetime totals (the same discipline the
+harness applies to its trace cache).
 """
 
 from __future__ import annotations
@@ -44,6 +54,7 @@ import json
 import math
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Optional
 
@@ -54,7 +65,11 @@ from ...gpu.specs import GPUSpec
 from .profiler import QueuePressure
 
 #: Bump to invalidate every existing cache entry (schema change).
-CACHE_SCHEMA_VERSION = 1
+#: v2: completed entries carry exact elapsed engine ``cycles``.
+CACHE_SCHEMA_VERSION = 2
+
+#: Decoded entries retained in one cache object's memory layer.
+MEMORY_CACHE_ENTRIES = 4096
 
 #: Default location honoured by ``repro tune --cache-dir`` with no value.
 DEFAULT_CACHE_DIR = os.path.join("~", ".cache", "repro-tuner")
@@ -133,6 +148,10 @@ class CachedEvaluation:
     note: str = ""
     exceeded_cycles: float = 0.0
     pressure: Optional[QueuePressure] = None
+    #: Exact elapsed engine cycles of a completed replay.  The tuner's
+    #: canonical post-pass compares these against the final deadline in
+    #: the cycle domain, so they must round-trip losslessly.
+    cycles: float = 0.0
 
     def to_payload(self) -> dict:
         payload = {
@@ -142,6 +161,7 @@ class CachedEvaluation:
         }
         if self.status == "completed":
             payload["time_ms"] = self.time_ms
+            payload["cycles"] = self.cycles
             if self.pressure is not None:
                 payload["pressure"] = {
                     "peak": dict(self.pressure.peak_per_stage),
@@ -160,7 +180,10 @@ class CachedEvaluation:
         status = payload.get("status")
         if status == "completed":
             time_ms = payload.get("time_ms")
+            cycles = payload.get("cycles")
             if not isinstance(time_ms, (int, float)):
+                return None
+            if not isinstance(cycles, (int, float)):
                 return None
             pressure = None
             raw = payload.get("pressure")
@@ -174,6 +197,7 @@ class CachedEvaluation:
                 time_ms=float(time_ms),
                 note=str(payload.get("note", "")),
                 pressure=pressure,
+                cycles=float(cycles),
             )
         if status == "invalid":
             return cls(status="invalid", note=str(payload.get("note", "")))
@@ -185,13 +209,75 @@ class CachedEvaluation:
         return None
 
 
+@dataclass(frozen=True)
+class ProfileCacheStats:
+    """Immutable hit/miss counters; deltas subtract, merges add.
+
+    Mirrors the harness's ``TraceCacheStats`` idiom: shard code
+    snapshots a cache's lifetime counters before working and returns
+    ``after - before``, so per-dispatch numbers stay correct however
+    long the persistent workers (and their shared cache objects) live.
+    """
+
+    mem_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.mem_hits + self.disk_hits
+
+    def __add__(self, other: "ProfileCacheStats") -> "ProfileCacheStats":
+        return ProfileCacheStats(
+            mem_hits=self.mem_hits + other.mem_hits,
+            disk_hits=self.disk_hits + other.disk_hits,
+            misses=self.misses + other.misses,
+            stores=self.stores + other.stores,
+        )
+
+    def __sub__(self, other: "ProfileCacheStats") -> "ProfileCacheStats":
+        return ProfileCacheStats(
+            mem_hits=self.mem_hits - other.mem_hits,
+            disk_hits=self.disk_hits - other.disk_hits,
+            misses=self.misses - other.misses,
+            stores=self.stores - other.stores,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"(memory: {self.mem_hits}, disk: {self.disk_hits}; "
+            f"{self.stores} stores)"
+        )
+
+
 class ProfileCache:
-    """Reads and writes memoized evaluations for one search space."""
+    """Reads and writes memoized evaluations for one search space.
+
+    Lookups consult a bounded in-memory layer before touching disk;
+    stores write through to both.  Lifetime counters feed
+    :meth:`stats`; consumers that need per-run numbers must subtract a
+    snapshot (see :class:`ProfileCacheStats`).
+    """
 
     def __init__(self, root: str, space_key: str) -> None:
         self.root = os.path.expanduser(root)
         self.space_key = space_key
         self.space_dir = os.path.join(self.root, space_key[:16])
+        self._memory: "OrderedDict[str, CachedEvaluation]" = OrderedDict()
+        self._mem_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._stores = 0
 
     @classmethod
     def open(
@@ -219,28 +305,59 @@ class ProfileCache:
             self.space_dir, config_fingerprint(config) + ".json"
         )
 
-    def lookup(
-        self, config: PipelineConfig, deadline_cycles: float = math.inf
+    @staticmethod
+    def _usable(
+        entry: Optional[CachedEvaluation], deadline_cycles: float
     ) -> Optional[CachedEvaluation]:
-        """Return the memoized outcome, or None when it must be replayed.
-
-        A ``timeout`` entry only satisfies deadlines at least as strict
-        as the one it was recorded under.
-        """
-        try:
-            with open(self.path_for(config), "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
-            return None
-        entry = CachedEvaluation.from_payload(payload)
         if entry is None:
             return None
         if entry.status == "timeout" and entry.exceeded_cycles < deadline_cycles:
             return None  # a longer deadline might let this cell finish
         return entry
 
+    def _remember(self, key: str, entry: CachedEvaluation) -> None:
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > MEMORY_CACHE_ENTRIES:
+            self._memory.popitem(last=False)
+
+    def lookup(
+        self, config: PipelineConfig, deadline_cycles: float = math.inf
+    ) -> Optional[CachedEvaluation]:
+        """Return the memoized outcome, or None when it must be replayed.
+
+        A ``timeout`` entry only satisfies deadlines at least as strict
+        as the one it was recorded under.  An unusable memory entry
+        falls through to disk — a concurrent worker may have overwritten
+        the cell with a completed or longer-deadline outcome.
+        """
+        key = config_fingerprint(config)
+        cached = self._usable(self._memory.get(key), deadline_cycles)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self._mem_hits += 1
+            return cached
+        try:
+            with open(
+                os.path.join(self.space_dir, key + ".json"),
+                "r",
+                encoding="utf-8",
+            ) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self._misses += 1
+            return None
+        entry = self._usable(CachedEvaluation.from_payload(payload), deadline_cycles)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._remember(key, entry)
+        self._disk_hits += 1
+        return entry
+
     def store(self, config: PipelineConfig, entry: CachedEvaluation) -> None:
         """Atomically write one cell (concurrent writers are safe)."""
+        key = config_fingerprint(config)
         os.makedirs(self.space_dir, exist_ok=True)
         payload = json.dumps(entry.to_payload(), sort_keys=True)
         fd, tmp_path = tempfile.mkstemp(
@@ -249,13 +366,24 @@ class ProfileCache:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 fh.write(payload)
-            os.replace(tmp_path, self.path_for(config))
+            os.replace(tmp_path, os.path.join(self.space_dir, key + ".json"))
         except OSError:
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
             raise
+        self._remember(key, entry)
+        self._stores += 1
+
+    def stats(self) -> ProfileCacheStats:
+        """Lifetime counters (snapshot-and-delta for per-run numbers)."""
+        return ProfileCacheStats(
+            mem_hits=self._mem_hits,
+            disk_hits=self._disk_hits,
+            misses=self._misses,
+            stores=self._stores,
+        )
 
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
@@ -272,6 +400,7 @@ class ProfileCache:
     def clear(self) -> int:
         """Drop every cell of this search space; returns how many."""
         removed = 0
+        self._memory.clear()
         try:
             names = os.listdir(self.space_dir)
         except OSError:
@@ -285,3 +414,25 @@ class ProfileCache:
             except OSError:
                 pass
         return removed
+
+
+#: Per-process registry: one cache object (and one memory layer) per
+#: ``(expanded root, space key)``.  Persistent pool workers get cache
+#: reuse across dispatches for free; the parent gets the same object on
+#: every rung of one search.
+_SHARED_CACHES: dict[tuple[str, str], ProfileCache] = {}
+
+
+def shared_cache(root: str, space_key: str) -> ProfileCache:
+    """The process-wide :class:`ProfileCache` for one search space."""
+    key = (os.path.expanduser(root), space_key)
+    cache = _SHARED_CACHES.get(key)
+    if cache is None:
+        cache = ProfileCache(root, space_key)
+        _SHARED_CACHES[key] = cache
+    return cache
+
+
+def clear_shared_caches() -> None:
+    """Forget every shared cache object (test isolation hook)."""
+    _SHARED_CACHES.clear()

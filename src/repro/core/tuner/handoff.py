@@ -31,7 +31,9 @@ back to inline transfer with identical results.
 from __future__ import annotations
 
 import hashlib
+import math
 import pickle
+import struct
 from collections import OrderedDict
 from typing import Optional
 
@@ -73,22 +75,35 @@ def _remember(key: str, value: object) -> None:
         _RESOLVED.popitem(last=False)
 
 
-def _untrack(segment) -> None:
-    """Detach ``segment`` from this process's resource tracker.
+def _attach_untracked(name: str):
+    """Attach to segment ``name`` without resource-tracker registration.
 
     Attaching registers the segment with the tracker on Python < 3.13,
     which would make a pool worker's tracker try to unlink a segment the
     *parent* owns (and warn about "leaked" shared memory at worker
-    exit).  Ownership stays with the publishing parent, so the attach
-    side unregisters; failures are harmless (the tracker then merely
-    over-reports).
+    exit).  Register-then-unregister is not enough: sibling workers
+    share one tracker process whose name cache is a set, so concurrent
+    attach/detach pairs for the same segment race the second unregister
+    into a tracker-side ``KeyError``.  Suppressing the registration
+    itself (what 3.13's ``track=False`` does) sends no message at all.
+    Ownership stays with the publishing parent either way.
     """
     try:
         from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals vary
-        pass
+        original = resource_tracker.register
+
+        def _skip_shm(rname: str, rtype: str) -> None:
+            if rtype != "shared_memory":  # pragma: no cover - not hit here
+                original(rname, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            return _shm.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:  # pragma: no cover - tracker internals vary
+        return _shm.SharedMemory(name=name)
 
 
 class InlinePayload:
@@ -143,9 +158,8 @@ class SharedPayload:
                 "shared-memory payload received on a platform without "
                 "multiprocessing.shared_memory"
             )
-        segment = _shm.SharedMemory(name=self.name)
+        segment = _attach_untracked(self.name)
         try:
-            _untrack(segment)
             value = pickle.loads(segment.buf[: self.size])
         finally:
             segment.close()
@@ -169,6 +183,125 @@ class SharedPayload:
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
         _LIVE_SEGMENTS.discard(self.name)
+
+
+#: Byte layout of the shared best-bound slot: the value and its
+#: negation.  Writing two doubles is not atomic, so readers validate
+#: ``value == -check`` and treat any mismatch as a torn/corrupt read.
+_BEST_STRUCT = struct.Struct("dd")
+
+
+class SharedBest:
+    """A monotonically tightening best-time bound shared across workers.
+
+    ``multiprocessing.Value`` only reaches workers through fork-time
+    inheritance, which the persistent pool (spawned once, reused for
+    every dispatch) cannot provide.  This is the same idea rebuilt on a
+    named shared-memory segment: the parent creates a 16-byte slot, the
+    handle pickles by *name*, and any process that attaches can read the
+    current global best or publish an improvement.
+
+    The slot stores ``(value, -value)``.  A reader that sees a torn or
+    corrupt pair (checksum mismatch, NaN, non-positive value) falls back
+    to ``math.inf`` — i.e. "no shared bound", the shard-local behaviour.
+    Stale reads only ever *loosen* a deadline, never tighten it below
+    the true best, so races are benign: correctness never depends on the
+    shared value, only the amount of pruning does.
+    """
+
+    __slots__ = ("name", "_segment", "_owner")
+
+    def __init__(self, name: str, segment=None, owner: bool = False) -> None:
+        self.name = name
+        self._segment = segment
+        self._owner = owner
+
+    @classmethod
+    def create(cls, initial: float = math.inf) -> "Optional[SharedBest]":
+        """Allocate the shared slot (parent side); ``None`` without shm."""
+        if _shm is None:  # pragma: no cover - exotic platforms
+            return None
+        segment = _shm.SharedMemory(create=True, size=_BEST_STRUCT.size)
+        _BEST_STRUCT.pack_into(segment.buf, 0, initial, -initial)
+        _LIVE_SEGMENTS.add(segment.name)
+        return cls(segment.name, segment=segment, owner=True)
+
+    def __getstate__(self) -> str:
+        return self.name
+
+    def __setstate__(self, state: str) -> None:
+        self.name = state
+        self._segment = None
+        self._owner = False
+
+    def _attach(self):
+        if self._segment is not None:
+            return self._segment
+        if _shm is None:  # pragma: no cover - exotic platforms
+            return None
+        try:
+            segment = _attach_untracked(self.name)
+        except (FileNotFoundError, OSError):
+            return None
+        self._segment = segment
+        return segment
+
+    def read(self) -> float:
+        """The current global best, or ``inf`` when unreadable."""
+        segment = self._attach()
+        if segment is None:
+            return math.inf
+        try:
+            value, check = _BEST_STRUCT.unpack_from(segment.buf, 0)
+        except (ValueError, struct.error):
+            return math.inf
+        if value != -check or math.isnan(value) or value <= 0.0:
+            return math.inf
+        return value
+
+    def publish(self, value: float) -> None:
+        """Record ``value`` if it improves on the shared best.
+
+        Writes are last-wins; a concurrent publish of a worse value can
+        transiently overwrite a better one, which (like a stale read)
+        only loosens deadlines.  The next improving publish restores the
+        tighter bound, and a corrupt slot is healed by any publish.
+        """
+        if not (0.0 < value < self.read()):
+            return
+        segment = self._segment
+        if segment is None:  # unreadable slot: nothing to publish into
+            return
+        try:
+            _BEST_STRUCT.pack_into(segment.buf, 0, value, -value)
+        except (ValueError, struct.error):  # pragma: no cover - size pinned
+            pass
+
+    def close(self) -> None:
+        """Detach this process's mapping (worker side; idempotent)."""
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def release(self) -> None:
+        """Unlink the slot (owning parent side; idempotent)."""
+        segment = self._segment
+        if segment is None:
+            return
+        self._segment = None
+        try:
+            segment.close()
+            if self._owner:
+                segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        if self._owner:
+            _LIVE_SEGMENTS.discard(self.name)
 
 
 def publish_payload(

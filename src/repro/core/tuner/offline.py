@@ -7,26 +7,58 @@ timeout equal to the best time found so far — exactly the paper's
 cheaply.  The configuration with the shortest replayed execution becomes
 the initial hybrid plan; online adaptation then refines it at run time.
 
-Three accelerations on top of the paper's loop, none of which change the
+Four accelerations on top of the paper's loop, none of which change the
 chosen plan:
 
-* **Parallel shards** — the candidate list is split into deterministic
-  round-robin shards (:func:`~repro.core.tuner.pool.stride_shards`),
-  each evaluated sequentially in its own worker process with its own
-  shrinking deadline.  Results merge in canonical candidate order, so
-  the best configuration is byte-identical for any
-  :attr:`TunerOptions.workers`; ``workers=1`` is the classic sequential
-  search.
+* **Parallel race-to-deadline shards** — the candidate list is split
+  into deterministic round-robin shards
+  (:func:`~repro.core.tuner.pool.stride_shards`, several small shards
+  per worker so the persistent pool load-balances), each evaluated
+  sequentially inside a worker process.  Workers race against a
+  *shared* best time (:class:`~repro.core.tuner.handoff.SharedBest`):
+  every completed replay publishes its time, every candidate's deadline
+  tightens from the global best, and a torn or corrupt shared value
+  degrades to the shard-local deadline.  A canonical post-pass (below)
+  keeps the merged report byte-identical for any worker count.
+* **Prefix racing** — with :attr:`TunerOptions.prefix_frac` set, every
+  candidate first races a short deterministic prefix of the trace
+  (:meth:`~repro.core.trace.Trace.prefix`) under a deliberately loose
+  deadline: anything within :attr:`TunerOptions.promote_slack` of the
+  rung best is promoted to the next rung
+  (:attr:`TunerOptions.halving_rungs` rungs, then the full trace);
+  slower candidates time out cheaply and are eliminated.  The winner is
+  always validated on the full trace, so ``best_config`` /
+  ``best_time_ms`` match exhaustive search whenever the true winner
+  stays within ``promote_slack`` of each rung best (every packaged
+  workload's winner sits within 1.15x; pinned by tests on all of them).
 * **Dominance cut** — before replaying, each candidate's provable
   throughput lower bound (:func:`~repro.core.tuner.space
-  .throughput_bound_cycles`, from the profiler's per-stage work) is
-  compared against the running deadline.  A candidate whose bound
-  already exceeds it would time out anyway and is skipped without
-  simulation (note ``"dominated"``).
+  .throughput_bound_cycles`, from the profiler's per-stage work and the
+  per-model occupancy lane caps) is compared against the running
+  deadline.  A candidate whose bound already exceeds it would time out
+  anyway and is skipped without simulation (note ``"dominated"``).
 * **Profile cache** — with :attr:`TunerOptions.cache_dir` set, every
-  replay outcome is memoized on disk keyed by pipeline topology, device
-  spec, trace and configuration (:mod:`~repro.core.tuner.cache`);
-  repeated searches replay nothing.
+  replay outcome is memoized in memory and on disk keyed by pipeline
+  topology, device spec, trace and configuration
+  (:mod:`~repro.core.tuner.cache`); repeated searches replay nothing.
+  Cached searches pin their deadlines to the deterministic shard-local
+  schedule (the shared bound is not consulted), so a warm rerun looks
+  up exactly the cells a cold run stored and misses nothing.
+
+**Canonical normalization.**  Racing makes *runtime* outcomes timing
+dependent: whether a slow candidate times out, completes under a loose
+early deadline, or is cut by the dominance bound depends on when the
+global best arrived.  The winner does not — any deadline derived from a
+best-so-far is at least ``best_time_ms x timeout_slack``, so the true
+best candidate always completes with its exact deterministic time.  The
+search therefore rewrites every record after the fact as a pure
+function of deterministic quantities (the final best, each completed
+replay's exact elapsed cycles, each candidate's dominance bound): a
+record is ``completed`` iff its cycles fit the final deadline, else
+``dominated`` iff its bound exceeds it, else ``prefix-eliminated`` iff
+a prefix rung cut it, else ``timeout``.  Reports are byte-identical
+across worker counts, and promotion between rungs applies the same
+rule, so the promoted set is deterministic too.
 
 Candidates are always evaluated with ``online_adaptation`` off (the
 dominance bound relies on each group's work staying on its own SMs);
@@ -48,15 +80,27 @@ from ..errors import ConfigurationError, ExecutionError, VersaPipeError
 from ..executor import ReplayExecutor
 from ..pipeline import Pipeline
 from ..trace import Trace
-from .cache import CachedEvaluation, ProfileCache
+from .cache import (
+    CachedEvaluation,
+    ProfileCache,
+    ProfileCacheStats,
+    shared_cache,
+)
+from .handoff import SharedBest
 from .pool import default_workers, map_shards, stride_shards
 from .profiler import (
     PipelineProfile,
     QueuePressure,
+    profile_from_trace,
     queue_pressure,
     replay_placeholders,
 )
 from .space import enumerate_configs, throughput_bound_cycles
+
+#: Stride shards dispatched per pool worker: small chunks let the
+#: persistent pool rebalance when shards finish at different speeds
+#: (candidates pruned by the shared deadline cost almost nothing).
+CHUNKS_PER_WORKER = 4
 
 
 class DeadlineExceeded(VersaPipeError):
@@ -87,11 +131,37 @@ class TunerOptions:
     #: Skip candidates whose throughput lower bound already exceeds the
     #: running deadline (provably cannot beat the best).
     dominance_pruning: bool = True
+    #: Prefix racing: the fraction of the recorded trace replayed in the
+    #: first rung.  ``None`` (or anything outside ``(0, 1)``) disables
+    #: prefix racing and every candidate replays the full trace.
+    prefix_frac: Optional[float] = 0.25
+    #: Number of successive-halving prefix rungs before the full-trace
+    #: rung; rung ``r`` of ``R`` replays a ``prefix_frac**(R-r)``
+    #: fraction of the trace.  ``0`` disables prefix racing.
+    halving_rungs: int = 1
+    #: Deadline headroom on prefix rungs: a candidate whose prefix time
+    #: is within this factor of the rung best is promoted to the next
+    #: rung; slower candidates time out and are eliminated.  Loose on
+    #: purpose — prefix times only approximate full-trace ranking (the
+    #: packaged workloads' winners all sit within 1.15x of their rung
+    #: best; 1.5 leaves wide margin, pinned by the exactness tests).
+    promote_slack: float = 1.5
 
     def resolved_workers(self) -> int:
         if self.workers is None:
             return default_workers()
         return max(1, self.workers)
+
+    def prefix_enabled(self) -> bool:
+        return (
+            self.prefix_frac is not None
+            and 0.0 < self.prefix_frac < 1.0
+            and self.halving_rungs > 0
+        )
+
+
+#: Canonical prune-provenance categories (besides ``completed``).
+PRUNE_NOTES = ("timeout", "dominated", "prefix-eliminated")
 
 
 @dataclass
@@ -105,13 +175,18 @@ class EvaluatedConfig:
     index: int = -1
     #: True when the outcome came from the profile cache, not a replay.
     cached: bool = False
+    #: Exact elapsed engine cycles of a completed replay (0.0 when the
+    #: run never finished).  The canonical post-pass compares these
+    #: against the final deadline in the cycle domain.
+    cycles: float = 0.0
 
     @property
     def outcome(self) -> str:
-        """``completed``, ``timeout``, ``dominated`` or ``invalid``."""
+        """``completed``, ``timeout``, ``dominated``,
+        ``prefix-eliminated`` or ``invalid``."""
         if math.isfinite(self.time_ms):
             return "completed"
-        if self.note in ("timeout", "dominated"):
+        if self.note in PRUNE_NOTES:
             return self.note
         return "invalid"
 
@@ -126,6 +201,8 @@ class TunerReport:
     cache_misses: int = 0
     #: Worker processes the search actually used.
     workers: int = 1
+    #: Per-dispatch profile-cache counter deltas (zeros when disabled).
+    cache_stats: ProfileCacheStats = field(default_factory=ProfileCacheStats)
 
     @property
     def num_evaluated(self) -> int:
@@ -144,8 +221,48 @@ class TunerReport:
         return sum(1 for e in self.evaluated if e.note == "dominated")
 
     @property
+    def num_prefix_eliminated(self) -> int:
+        return sum(
+            1 for e in self.evaluated if e.note == "prefix-eliminated"
+        )
+
+    @property
     def num_invalid(self) -> int:
         return sum(1 for e in self.evaluated if e.outcome == "invalid")
+
+    def provenance(self) -> dict[str, int]:
+        """Canonical per-candidate prune provenance; sums to
+        :attr:`num_evaluated`."""
+        return {
+            "completed": self.num_completed,
+            "timeout": self.num_timeout,
+            "dominated": self.num_dominated,
+            "prefix-eliminated": self.num_prefix_eliminated,
+            "invalid": self.num_invalid,
+        }
+
+    def canonical_payload(self) -> dict:
+        """The deterministic view of the search, for byte-identity checks.
+
+        Contains exactly the quantities the canonical post-pass pins
+        for any worker count: the winner, and each candidate's index,
+        outcome and (for completed candidates) exact time.  Runtime
+        artifacts — cache traffic, ``cached`` flags, worker count — are
+        deliberately excluded.
+        """
+        return {
+            "best_time_ms": self.best_time_ms,
+            "best_config": self.best_config.describe(),
+            "evaluated": [
+                {
+                    "index": e.index,
+                    "outcome": e.outcome,
+                    "time_ms": e.time_ms if math.isfinite(e.time_ms) else None,
+                    "note": e.note,
+                }
+                for e in self.evaluated
+            ],
+        }
 
     def summary(self) -> str:
         pruned = self.num_evaluated - self.num_completed
@@ -153,6 +270,7 @@ class TunerReport:
             f"tuned over {self.num_evaluated} configs "
             f"({self.num_completed} completed, {pruned} pruned: "
             f"{self.num_timeout} timeout, {self.num_dominated} dominated, "
+            f"{self.num_prefix_eliminated} prefix-eliminated, "
             f"{self.num_invalid} invalid; "
             f"cache {self.cache_hits} hits / {self.cache_misses} misses; "
             f"{self.workers} workers): best "
@@ -166,11 +284,12 @@ class _ShardResult:
     records: list[EvaluatedConfig]
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_stats: ProfileCacheStats = field(default_factory=ProfileCacheStats)
 
 
 @dataclass
 class _SearchPayload:
-    """Everything a worker needs to evaluate a shard."""
+    """Everything a worker needs to evaluate a shard of one rung."""
 
     pipeline: Pipeline
     spec: GPUSpec
@@ -182,6 +301,12 @@ class _SearchPayload:
     #: shards prune nearly as hard as the sequential loop from their
     #: very first candidate.  ``inf`` disables seeding (sequential mode).
     seed_best_ms: float = math.inf
+    #: Cross-worker shared best bound for this rung (pickles by segment
+    #: name); ``None`` in sequential mode.
+    shared_best: Optional[SharedBest] = None
+    #: Space key of the profile cache for this rung's trace, computed
+    #: once in the parent; ``None`` when the cache is disabled.
+    cache_space_key: Optional[str] = None
 
 
 def _replay_config(
@@ -190,8 +315,8 @@ def _replay_config(
     trace: Trace,
     config: PipelineConfig,
     deadline_cycles: float = math.inf,
-) -> tuple[float, QueuePressure]:
-    """Replay one configuration; returns (milliseconds, queue pressure).
+) -> tuple[float, float, QueuePressure]:
+    """Replay one configuration; returns (ms, elapsed cycles, pressure).
 
     Raises :class:`DeadlineExceeded` when the run passes the deadline and
     :class:`ConfigurationError` for infeasible plans.
@@ -213,32 +338,46 @@ def _replay_config(
                 f"config exceeded {deadline_cycles:.0f} cycles"
             )
         raise ExecutionError("replay deadlocked (internal error)")
-    return device.elapsed_ms, queue_pressure(engine.ctx.depth_series)
+    return (
+        device.elapsed_ms,
+        float(device.engine.now),
+        queue_pressure(engine.ctx.depth_series),
+    )
 
 
 def _evaluate_shard(
     payload: _SearchPayload, shard: list[tuple[int, PipelineConfig]]
 ) -> _ShardResult:
-    """Sequential Figure-10 loop over one shard of the candidate list.
+    """Race-to-deadline loop over one shard of the candidate list.
 
-    The deadline shrinks with the *shard-local* best, which keeps the
-    outcome a pure function of the shard's contents — no cross-worker
-    state, hence deterministic for any worker count.
+    The deadline shrinks with the shard-local best *and* — when no
+    profile cache is configured — the global :class:`SharedBest` bound
+    published by every worker.  Runtime outcomes therefore depend on
+    cross-worker timing; the caller's canonical post-pass rewrites them
+    into a pure function of deterministic quantities.  With a cache the
+    shared bound is ignored so lookups and stores follow the
+    deterministic shard-local schedule: a warm rerun reads exactly the
+    cells a cold run wrote and misses nothing.
     """
     pipeline = payload.pipeline
     spec = payload.spec
     options = payload.options
     cache = (
-        ProfileCache.open(options.cache_dir, pipeline, spec, payload.trace)
-        if options.cache_dir
+        shared_cache(options.cache_dir, payload.cache_space_key)
+        if options.cache_dir and payload.cache_space_key
         else None
     )
+    stats_before = cache.stats() if cache is not None else None
+    shared = payload.shared_best if cache is None else None
     result = _ShardResult(records=[])
     best_ms = payload.seed_best_ms
     for index, config in shard:
+        best_known = best_ms
+        if shared is not None:
+            best_known = min(best_known, shared.read())
         deadline = (
-            best_ms * options.timeout_slack * spec.clock_ghz * 1e6
-            if math.isfinite(best_ms)
+            best_known * options.timeout_slack * spec.clock_ghz * 1e6
+            if math.isfinite(best_known)
             else math.inf
         )
         if (
@@ -259,15 +398,13 @@ def _evaluate_shard(
         if cache is not None:
             entry = cache.lookup(config, deadline_cycles=deadline)
             if entry is not None:
-                result.cache_hits += 1
                 record = _record_from_cache(config, index, entry)
                 result.records.append(record)
                 if record.time_ms < best_ms:
                     best_ms = record.time_ms
                 continue
-            result.cache_misses += 1
         try:
-            time_ms, pressure = _replay_config(
+            time_ms, cycles, pressure = _replay_config(
                 pipeline, spec, payload.trace, config, deadline_cycles=deadline
             )
         except DeadlineExceeded:
@@ -295,17 +432,29 @@ def _evaluate_shard(
                 )
             continue
         result.records.append(
-            EvaluatedConfig(config, time_ms, pressure=pressure, index=index)
+            EvaluatedConfig(
+                config, time_ms, pressure=pressure, index=index, cycles=cycles
+            )
         )
         if cache is not None:
             cache.store(
                 config,
                 CachedEvaluation(
-                    status="completed", time_ms=time_ms, pressure=pressure
+                    status="completed",
+                    time_ms=time_ms,
+                    pressure=pressure,
+                    cycles=cycles,
                 ),
             )
         if time_ms < best_ms:
             best_ms = time_ms
+            if shared is not None:
+                shared.publish(time_ms)
+    if cache is not None and stats_before is not None:
+        delta = cache.stats() - stats_before
+        result.cache_stats = delta
+        result.cache_hits = delta.hits
+        result.cache_misses = delta.misses
     return result
 
 
@@ -319,6 +468,7 @@ def _record_from_cache(
             pressure=entry.pressure,
             index=index,
             cached=True,
+            cycles=entry.cycles,
         )
     if entry.status == "timeout":
         return EvaluatedConfig(
@@ -363,7 +513,7 @@ class OfflineTuner:
         Raises :class:`DeadlineExceeded` when the run passes the deadline
         and :class:`ConfigurationError` for infeasible plans.
         """
-        time_ms, pressure = _replay_config(
+        time_ms, _cycles, pressure = _replay_config(
             self.pipeline,
             self.spec,
             self.trace,
@@ -392,58 +542,45 @@ class OfflineTuner:
         )
 
     def tune(self) -> TunerReport:
-        """Run the Figure-10 search loop and return the best plan."""
+        """Run the race-to-deadline search and return the best plan."""
         options = self.options
         candidates = self.candidates()
         workers = min(options.resolved_workers(), max(1, len(candidates)))
-        payload = _SearchPayload(
-            pipeline=self.pipeline,
-            spec=self.spec,
-            trace=self.trace,
-            profile=self.profile,
-            options=options,
-        )
-        indexed = list(enumerate(candidates))
-        seed_results: list[_ShardResult] = []
-        if workers > 1 and indexed:
-            # Evaluate the first candidate (the coarsest grouping) once,
-            # in-process, and seed every shard's deadline with its time:
-            # parallel shards then prune almost as hard as the
-            # sequential loop without any cross-worker communication,
-            # and the search stays deterministic for any worker count.
-            seed = _evaluate_shard(payload, indexed[:1])
-            seed_results.append(seed)
-            seed_times = [
-                r.time_ms for r in seed.records if math.isfinite(r.time_ms)
-            ]
-            if seed_times:
-                payload.seed_best_ms = min(seed_times)
-            indexed = indexed[1:]
-        shards = stride_shards(indexed, workers)
-        shard_results = seed_results + map_shards(
-            _evaluate_shard, payload, shards, workers
-        )
+        rungs = self._rung_plan()
 
-        evaluated: list[EvaluatedConfig] = sorted(
-            (
-                record
-                for shard in shard_results
-                for record in shard.records
-            ),
-            key=lambda record: record.index,
-        )
-        cache_hits = sum(s.cache_hits for s in shard_results)
-        cache_misses = sum(s.cache_misses for s in shard_results)
+        alive = list(enumerate(candidates))
+        eliminated: dict[int, EvaluatedConfig] = {}
+        final_records: list[EvaluatedConfig] = []
+        cache_stats = ProfileCacheStats()
+        for rung_number, (rung_trace, rung_profile) in enumerate(rungs):
+            if not alive:
+                break
+            is_final = rung_number == len(rungs) - 1
+            rung_slack = (
+                options.timeout_slack if is_final else options.promote_slack
+            )
+            results = self._run_rung(
+                rung_trace, rung_profile, alive, workers, rung_slack
+            )
+            records = sorted(
+                (r for shard in results for r in shard.records),
+                key=lambda record: record.index,
+            )
+            for shard in results:
+                cache_stats = cache_stats + shard.cache_stats
+            if is_final:
+                final_records = records
+                break
+            promoted = self._promote(records)
+            for record in records:
+                if record.index not in promoted:
+                    eliminated[record.index] = record
+            alive = [(i, c) for (i, c) in alive if i in promoted]
 
-        best: Optional[PipelineConfig] = None
-        best_ms = math.inf
-        for record in evaluated:  # canonical order: ties go to the
-            if record.time_ms < best_ms:  # earliest candidate, as in the
-                best = record.config  # sequential search
-                best_ms = record.time_ms
-            if record.pressure is not None:
-                self.last_pressure = record.pressure
-        self._emit_events(evaluated, best_ms, cache_hits, cache_misses, workers)
+        evaluated, best, best_ms = self._normalize(final_records, eliminated)
+        self._emit_events(
+            evaluated, best_ms, cache_stats.hits, cache_stats.misses, workers
+        )
         if best is None:
             raise ConfigurationError(
                 "the tuner found no feasible configuration"
@@ -453,10 +590,200 @@ class OfflineTuner:
             best_config=final,
             best_time_ms=best_ms,
             evaluated=evaluated,
-            cache_hits=cache_hits,
-            cache_misses=cache_misses,
+            cache_hits=cache_stats.hits,
+            cache_misses=cache_stats.misses,
             workers=workers,
+            cache_stats=cache_stats,
         )
+
+    # ------------------------------------------------------------------
+    def _rung_plan(self) -> list[tuple[Trace, Optional[PipelineProfile]]]:
+        """Prefix rungs (shortest first) followed by the full trace.
+
+        Every prefix keeps at least the trace's entry nodes so each
+        workload item enters the pipeline, and degenerate prefixes (as
+        long as the full trace) are dropped.
+        """
+        options = self.options
+        plan: list[tuple[Trace, Optional[PipelineProfile]]] = []
+        total = len(self.trace.nodes)
+        if options.prefix_enabled() and total > 1:
+            frac = float(options.prefix_frac or 0.0)
+            floor_nodes = max(
+                1, sum(len(ids) for ids in self.trace.initial.values())
+            )
+            sizes: list[int] = []
+            for depth in range(options.halving_rungs, 0, -1):
+                nodes = max(floor_nodes, int(total * frac**depth))
+                if nodes < total and (not sizes or nodes > sizes[-1]):
+                    sizes.append(nodes)
+            for nodes in sizes:
+                prefix = self.trace.prefix(nodes)
+                plan.append(
+                    (prefix, profile_from_trace(self.pipeline, self.spec, prefix))
+                )
+        plan.append((self.trace, self.profile))
+        return plan
+
+    def _run_rung(
+        self,
+        rung_trace: Trace,
+        rung_profile: Optional[PipelineProfile],
+        alive: list[tuple[int, PipelineConfig]],
+        workers: int,
+        rung_slack: float,
+    ) -> list[_ShardResult]:
+        """Dispatch one rung over the persistent pool (chunked shards).
+
+        ``rung_slack`` is the deadline headroom the race runs under —
+        ``promote_slack`` on prefix rungs (anything within it of the
+        rung best survives with an exact time), ``timeout_slack`` on
+        the final full-trace rung.
+        """
+        options = replace(self.options, timeout_slack=rung_slack)
+        space_key = None
+        if options.cache_dir:
+            space_key = ProfileCache.open(
+                options.cache_dir, self.pipeline, self.spec, rung_trace
+            ).space_key
+        shared = SharedBest.create() if workers > 1 else None
+        payload = _SearchPayload(
+            pipeline=self.pipeline,
+            spec=self.spec,
+            trace=rung_trace,
+            profile=rung_profile,
+            options=options,
+            shared_best=shared,
+            cache_space_key=space_key,
+        )
+        try:
+            items = alive
+            seed_results: list[_ShardResult] = []
+            if workers > 1 and items:
+                # Evaluate the first alive candidate (the coarsest
+                # grouping) once, in-process, and seed every shard's
+                # deadline with its time: shards prune hard from their
+                # very first candidate even before the shared bound has
+                # anything published.
+                seed = _evaluate_shard(payload, items[:1])
+                seed_results.append(seed)
+                seed_times = [
+                    r.time_ms
+                    for r in seed.records
+                    if math.isfinite(r.time_ms)
+                ]
+                if seed_times:
+                    payload.seed_best_ms = min(seed_times)
+                    if shared is not None:
+                        shared.publish(payload.seed_best_ms)
+                items = items[1:]
+            chunks = (
+                min(len(items), workers * CHUNKS_PER_WORKER)
+                if workers > 1
+                else 1
+            )
+            shards = stride_shards(items, max(1, chunks))
+            return seed_results + map_shards(
+                _evaluate_shard, payload, shards, workers
+            )
+        finally:
+            if shared is not None:
+                shared.release()
+
+    def _promote(self, records: list[EvaluatedConfig]) -> set[int]:
+        """Deterministic promotion out of one prefix rung.
+
+        Runtime completion is timing-dependent under the shared bound,
+        so promotion applies the same canonicalization as the final
+        report: a candidate counts as completed — and is promoted —
+        iff its exact elapsed cycles fit the rung deadline
+        (``rung best x promote_slack``, which every race resolves
+        identically).  Slower candidates are eliminated.
+        """
+        options = self.options
+        completed = [r for r in records if math.isfinite(r.time_ms)]
+        if not completed:
+            return set()
+        rung_best = min(r.time_ms for r in completed)
+        rung_deadline = (
+            rung_best * options.promote_slack * self.spec.clock_ghz * 1e6
+        )
+        return {
+            r.index
+            for r in completed
+            if r.cycles <= rung_deadline or r.time_ms == rung_best
+        }
+
+    def _normalize(
+        self,
+        final_records: list[EvaluatedConfig],
+        eliminated: dict[int, EvaluatedConfig],
+    ) -> tuple[list[EvaluatedConfig], Optional[PipelineConfig], float]:
+        """Rewrite runtime records as the canonical deterministic report.
+
+        The winner is exact for any racing schedule (every runtime
+        deadline is at least ``best x slack``, so the true best always
+        completes); every other record is reclassified from
+        deterministic quantities only — completed iff its elapsed
+        cycles fit the final deadline, else dominated iff its bound
+        exceeds it, else prefix-eliminated iff a rung cut it, else
+        timeout.
+        """
+        options = self.options
+        best: Optional[PipelineConfig] = None
+        best_index = -1
+        best_ms = math.inf
+        for record in final_records:  # canonical order: ties go to the
+            if record.time_ms < best_ms:  # earliest candidate, as in
+                best = record.config  # the sequential search
+                best_ms = record.time_ms
+                best_index = record.index
+        final_deadline = (
+            best_ms * options.timeout_slack * self.spec.clock_ghz * 1e6
+        )
+        profile = self.profile if options.dominance_pruning else None
+
+        merged = sorted(
+            itertools.chain(final_records, eliminated.values()),
+            key=lambda record: record.index,
+        )
+        evaluated: list[EvaluatedConfig] = []
+        for record in merged:
+            prefix_cut = record.index in eliminated
+            if record.note.startswith("invalid"):
+                evaluated.append(record)
+                continue
+            if (
+                not prefix_cut
+                and math.isfinite(record.time_ms)
+                and (
+                    record.cycles <= final_deadline
+                    or record.index == best_index
+                )
+            ):
+                evaluated.append(record)
+                if record.pressure is not None:
+                    self.last_pressure = record.pressure
+                continue
+            note = "timeout"
+            if profile is not None:
+                bound = throughput_bound_cycles(
+                    self.pipeline, self.spec, profile, record.config
+                )
+                if bound > final_deadline:
+                    note = "dominated"
+            if note != "dominated" and prefix_cut:
+                note = "prefix-eliminated"
+            evaluated.append(
+                EvaluatedConfig(
+                    record.config,
+                    math.inf,
+                    note=note,
+                    index=record.index,
+                    cached=record.cached,
+                )
+            )
+        return evaluated, best, best_ms
 
     # ------------------------------------------------------------------
     def _emit_events(
@@ -489,6 +816,9 @@ class OfflineTuner:
                 ),
                 timeouts=sum(1 for e in evaluated if e.note == "timeout"),
                 dominated=sum(1 for e in evaluated if e.note == "dominated"),
+                prefix_eliminated=sum(
+                    1 for e in evaluated if e.note == "prefix-eliminated"
+                ),
                 invalid=sum(1 for e in evaluated if e.outcome == "invalid"),
                 cache_hits=cache_hits,
                 cache_misses=cache_misses,

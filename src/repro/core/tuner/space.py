@@ -23,9 +23,14 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Mapping, Optional, Sequence
 
-from ...gpu.occupancy import registers_per_block, shared_mem_per_block
+from ...gpu.occupancy import (
+    max_blocks_per_sm,
+    registers_per_block,
+    shared_mem_per_block,
+)
 from ...gpu.specs import GPUSpec
 from ..config import GroupConfig, PipelineConfig, max_fine_blocks
+from ..exec.persistent import fused_group_kernel
 from ..pipeline import Pipeline
 from .profiler import PipelineProfile
 
@@ -201,22 +206,76 @@ def throughput_bound_cycles(
         elapsed >= max over groups of
             (1 - l1_bonus) * thread_cycles(group) / (|SMs| * cores_per_sm)
 
+    The raw lane cap is loose for low-occupancy launches, so the cap is
+    tightened per execution model from what each model can actually keep
+    resident on one SM:
+
+    * **megakernel/rtc** — the group launches
+      ``max_blocks_per_sm(fused_kernel)`` persistent blocks per SM
+      (:func:`~repro.core.exec.persistent.fused_group_kernel` is shared
+      with the runner so the occupancy can never drift), and each block
+      runs one compute segment of at most ``threads_per_block`` threads
+      at a time — so the group drains at most
+      ``min(cores_per_sm, blocks x tpb)`` thread-cycles per SM-clock;
+    * **fine** — stage ``s`` work only executes in stage-``s`` blocks
+      (``block_map[s]`` per SM, each <= that stage's ``tpb``), giving a
+      *per-stage* cap in addition to the group total;
+    * **kbk** — a wave batch clamps threads to the stage's ``tpb`` and
+      admission keeps at most ``max_blocks_per_sm(kernel)`` resident,
+      giving a per-stage cap (stages may overlap across waves, so their
+      caps are never summed).
+
     The offline tuner uses this as its *dominance cut*: a candidate
     whose bound already exceeds the running best's deadline is strictly
     dominated and is pruned without replaying it.
     """
     discount = max(0.0, 1.0 - spec.l1_locality_bonus)
+    cores = float(spec.cores_per_sm)
     bound = 0.0
     for group in config.groups:
-        thread_cycles = sum(
-            profile.stages[s].total_cycles
+        num_sms = len(group.sm_ids)
+        if num_sms == 0:
+            continue
+        stage_cycles = {
+            s: profile.stages[s].total_cycles
             * pipeline.stage(s).threads_per_item
             for s in group.stages
             if s in profile.stages
-        )
-        lanes = len(group.sm_ids) * spec.cores_per_sm
-        if lanes > 0:
-            bound = max(bound, discount * thread_cycles / lanes)
+        }
+        total_cycles = sum(stage_cycles.values())
+        group_cap = cores
+        per_stage: dict[str, float] = {}
+        if group.model in ("megakernel", "rtc"):
+            kernel = fused_group_kernel(pipeline, group.stages, group.model)
+            occupancy = max_blocks_per_sm(kernel, spec)
+            if occupancy > 0:  # occ 0 replays to `invalid`; keep loose cap
+                group_cap = min(
+                    cores, float(occupancy * kernel.threads_per_block)
+                )
+        elif group.model == "fine" and group.block_map is not None:
+            fine_total = 0.0
+            for s in group.stages:
+                tpb = pipeline.stage(s).kernel_spec().threads_per_block
+                cap = min(cores, float(group.block_map.get(s, 0) * tpb))
+                per_stage[s] = cap
+                fine_total += cap
+            group_cap = min(cores, fine_total)
+        elif group.model == "kbk":
+            for s in group.stages:
+                kernel = pipeline.stage(s).kernel_spec()
+                occupancy = max_blocks_per_sm(kernel, spec)
+                if occupancy > 0:
+                    per_stage[s] = min(
+                        cores, float(occupancy * kernel.threads_per_block)
+                    )
+        if group_cap > 0:
+            bound = max(bound, discount * total_cycles / (num_sms * group_cap))
+        for s, cap in per_stage.items():
+            if cap > 0:
+                bound = max(
+                    bound,
+                    discount * stage_cycles.get(s, 0.0) / (num_sms * cap),
+                )
     return bound * _BOUND_SAFETY
 
 

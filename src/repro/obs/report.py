@@ -576,6 +576,7 @@ class TunerStats:
     completed: int = 0
     timeouts: int = 0
     dominated: int = 0
+    prefix_eliminated: int = 0
     invalid: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -592,6 +593,7 @@ class TunerStats:
             completed=report.num_completed,
             timeouts=report.num_timeout,
             dominated=report.num_dominated,
+            prefix_eliminated=getattr(report, "num_prefix_eliminated", 0),
             invalid=report.num_invalid,
             cache_hits=report.cache_hits,
             cache_misses=report.cache_misses,
@@ -610,6 +612,9 @@ class TunerStats:
                 stats.completed = event.completed
                 stats.timeouts = event.timeouts
                 stats.dominated = event.dominated
+                stats.prefix_eliminated = getattr(
+                    event, "prefix_eliminated", 0
+                )
                 stats.invalid = event.invalid
                 stats.cache_hits = event.cache_hits
                 stats.cache_misses = event.cache_misses
@@ -626,12 +631,27 @@ class TunerStats:
 
     @property
     def pruned(self) -> int:
-        return self.timeouts + self.dominated + self.invalid
+        return (
+            self.timeouts
+            + self.dominated
+            + self.prefix_eliminated
+            + self.invalid
+        )
 
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    def provenance(self) -> dict:
+        """Canonical prune provenance; counts sum to ``evaluated``."""
+        return {
+            "completed": self.completed,
+            "timeout": self.timeouts,
+            "dominated": self.dominated,
+            "prefix-eliminated": self.prefix_eliminated,
+            "invalid": self.invalid,
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -640,8 +660,10 @@ class TunerStats:
             "completed": self.completed,
             "timeouts": self.timeouts,
             "dominated": self.dominated,
+            "prefix_eliminated": self.prefix_eliminated,
             "invalid": self.invalid,
             "pruned": self.pruned,
+            "provenance": self.provenance(),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
@@ -657,6 +679,7 @@ class TunerStats:
         lines.append(
             f"evaluated {self.evaluated} configs: {self.completed} completed,"
             f" {self.timeouts} timeout, {self.dominated} dominated,"
+            f" {self.prefix_eliminated} prefix-eliminated,"
             f" {self.invalid} invalid ({self.workers} workers)"
         )
         lines.append(

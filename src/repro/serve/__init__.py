@@ -28,6 +28,7 @@ from .driver import (
     RequestTaggingExecutor,
     ServeConfig,
     build_serve_plan,
+    retune_serve_plan,
     serve_workload,
 )
 from .harness import plan_serve, run_serve_cells
@@ -56,6 +57,7 @@ __all__ = [
     "merge_serve_reports",
     "parse_arrival_spec",
     "plan_serve",
+    "retune_serve_plan",
     "run_meta",
     "run_serve_cells",
     "serve_workload",

@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 from ..core.config import GroupConfig, PipelineConfig
 from ..core.errors import ConfigurationError, ExecutionError
+from ..core.tuner.offline import TunerOptions, TunerReport
 from ..core.executor import ExecResult, Executor, FunctionalExecutor, InlineResult
 from ..core.models.hybrid import HybridEngine
 from ..core.models.sm_bound import default_fine_block_map, split_sms_proportionally
@@ -175,6 +176,39 @@ def build_serve_plan(
             f"from {SERVE_MODELS}"
         )
     return PipelineConfig(groups=groups)
+
+
+def retune_serve_plan(
+    config: ServeConfig, options: Optional[TunerOptions] = None
+) -> tuple[PipelineConfig, TunerReport]:
+    """Re-run the offline search for one serving cell's workload.
+
+    The ROADMAP's load-reactive re-tuning entry point: serving keeps a
+    pipeline resident under a fixed plan, and when the arrival mix
+    shifts the operator re-runs the race-to-deadline tuner on the
+    workload's recorded trace and swaps in the winner at the next
+    quiescent window.  Returns ``(plan, tuner_report)`` where ``plan``
+    is the winning configuration with online adaptation off (matching
+    every other serve plan — the serving driver owns reactivity).
+    Prefix racing and the persistent-pool race keep the search cheap
+    enough to re-run between windows; see ``docs/tuning.md``.
+    """
+    from dataclasses import replace
+
+    from ..harness.runner import tune_workload
+
+    spec = get_workload(config.workload)
+    gpu = get_spec(config.device)
+    params = spec.default_params() if config.full else spec.quick_params()
+    tuned = tune_workload(
+        spec.name,
+        gpu,
+        params,
+        options=options,
+        batch_size=config.batch_size,
+    )
+    plan = replace(tuned.report.best_config, online_adaptation=False)
+    return plan, tuned.report
 
 
 def _entry_template(spec: WorkloadSpec, params: object) -> list[tuple[str, object]]:

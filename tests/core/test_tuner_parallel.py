@@ -1,10 +1,18 @@
 """Parallel sharded search: determinism, events, dominance soundness."""
 
+import json
 import math
+import pickle
 
 import pytest
 
-from repro.core.tuner.offline import OfflineTuner, TunerOptions
+from repro.core.tuner.handoff import SharedBest
+from repro.core.tuner.offline import (
+    OfflineTuner,
+    TunerOptions,
+    _evaluate_shard,
+    _SearchPayload,
+)
 from repro.core.tuner.pool import default_workers, stride_shards
 from repro.core.tuner.profiler import profile_pipeline
 from repro.core.tuner.space import throughput_bound_cycles
@@ -47,7 +55,7 @@ class TestStrideShards:
         assert default_workers() >= 1
 
 
-def _make_tuner(workers, budget=40, bus=None, dominance=True):
+def _make_tuner(workers, budget=40, bus=None, dominance=True, prefix=True):
     pipe = toy_pipeline()
     initial = {"doubler": list(range(1, 200))}
     profile, trace = profile_pipeline(pipe, K20C, initial)
@@ -57,7 +65,10 @@ def _make_tuner(workers, budget=40, bus=None, dominance=True):
         trace,
         profile=profile,
         options=TunerOptions(
-            max_configs=budget, workers=workers, dominance_pruning=dominance
+            max_configs=budget,
+            workers=workers,
+            dominance_pruning=dominance,
+            prefix_frac=0.25 if prefix else None,
         ),
         bus=bus,
     )
@@ -140,10 +151,29 @@ class TestDominanceSoundness:
         assert with_cut.best_config == without.best_config
         assert with_cut.best_time_ms == without.best_time_ms
 
-    def test_dominated_counted_separately_from_timeout(self):
+    def test_provenance_partitions_evaluated(self):
         report = _make_tuner(workers=1).tune()
+        assert sum(report.provenance().values()) == report.num_evaluated
         assert report.num_dominated + report.num_timeout + \
-            report.num_invalid + report.num_completed == report.num_evaluated
+            report.num_prefix_eliminated + report.num_invalid + \
+            report.num_completed == report.num_evaluated
+
+    def test_dominance_fires_with_racing_enabled(self):
+        """Prefix racing must not mask the dominance provenance: on the
+        Reyes space the bound still classifies candidates as dominated
+        in the canonical report."""
+        from repro.harness.runner import tune_workload
+        from repro.workloads import reyes
+
+        params = reyes.ReyesParams(num_base_patches=16, split_threshold=48.0)
+        report = tune_workload(
+            "reyes", K20C, params,
+            options=TunerOptions(
+                max_configs=80, include_kbk_groups=False, workers=1
+            ),
+        ).report
+        assert report.num_dominated > 0
+        assert report.num_prefix_eliminated > 0
 
     def test_dominance_fires_on_real_workload(self):
         """On the Reyes pipeline (heterogeneous per-stage work) the bound
@@ -164,3 +194,155 @@ class TestDominanceSoundness:
         assert cut.best_config == plain.best_config
         assert cut.best_time_ms == plain.best_time_ms
         assert cut.num_dominated > 0
+
+
+def _payload_bytes(report):
+    return json.dumps(report.canonical_payload(), sort_keys=True)
+
+
+class TestCanonicalDeterminism:
+    """The merged report is a pure function of the candidate space."""
+
+    @pytest.mark.parametrize("prefix", [True, False])
+    def test_payload_byte_identical_across_worker_counts(self, prefix):
+        reports = [
+            _make_tuner(workers=w, prefix=prefix).tune() for w in (1, 2, 4)
+        ]
+        reference = _payload_bytes(reports[0])
+        for report in reports[1:]:
+            assert _payload_bytes(report) == reference
+
+    def test_forced_timeout_candidate_is_canonical(self):
+        """The toy space forces slow candidates past the deadline; their
+        classification must not depend on the worker count."""
+        seq = _make_tuner(workers=1).tune()
+        par = _make_tuner(workers=4).tune()
+        assert seq.num_timeout > 0
+        assert [e.outcome for e in seq.evaluated] == [
+            e.outcome for e in par.evaluated
+        ]
+
+    def test_best_identical_across_prefix_on_off(self):
+        on = _make_tuner(workers=1, prefix=True).tune()
+        off = _make_tuner(workers=1, prefix=False).tune()
+        assert on.best_config == off.best_config
+        assert on.best_time_ms == off.best_time_ms
+        assert on.num_prefix_eliminated > 0
+        assert off.num_prefix_eliminated == 0
+
+
+class TestExhaustiveVsRaced:
+    """Acceptance pin: racing never changes the winner on any workload."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "cfd",
+            "face_detection",
+            "ldpc",
+            "pyramid",
+            "rasterization",
+            "reyes",
+        ],
+    )
+    def test_raced_best_matches_exhaustive(self, name):
+        from repro.harness.runner import get_workload, tune_workload
+
+        params = get_workload(name).quick_params()
+        raced = tune_workload(
+            name, K20C, params,
+            options=TunerOptions(max_configs=24, workers=1),
+            cache=None,
+        ).report
+        exhaustive = tune_workload(
+            name, K20C, params,
+            options=TunerOptions(max_configs=24, workers=1, prefix_frac=None),
+            cache=None,
+        ).report
+        assert raced.best_config == exhaustive.best_config
+        assert raced.best_time_ms == exhaustive.best_time_ms
+
+
+class TestSharedBest:
+    def _slot(self):
+        slot = SharedBest.create()
+        if slot is None:
+            pytest.skip("shared memory unavailable on this platform")
+        return slot
+
+    def test_publish_monotone(self):
+        slot = self._slot()
+        try:
+            assert slot.read() == math.inf
+            slot.publish(5.0)
+            assert slot.read() == 5.0
+            slot.publish(7.0)  # worse: ignored
+            assert slot.read() == 5.0
+            slot.publish(3.0)
+            assert slot.read() == 3.0
+            slot.publish(-1.0)  # nonsense: ignored
+            assert slot.read() == 3.0
+        finally:
+            slot.release()
+
+    def test_corrupt_slot_reads_inf_and_heals(self):
+        slot = self._slot()
+        try:
+            slot.publish(5.0)
+            slot._segment.buf[:] = b"\xff" * len(slot._segment.buf)
+            assert slot.read() == math.inf  # checksum mismatch
+            slot.publish(4.0)  # any publish heals the slot
+            assert slot.read() == 4.0
+        finally:
+            slot.release()
+
+    def test_pickles_by_name(self):
+        slot = self._slot()
+        try:
+            slot.publish(2.5)
+            clone = pickle.loads(pickle.dumps(slot))
+            assert clone.read() == 2.5
+            clone.publish(1.5)
+            assert slot.read() == 1.5
+            clone.close()
+        finally:
+            slot.release()
+
+    def test_released_slot_reads_inf(self):
+        slot = self._slot()
+        name = slot.name
+        slot.publish(2.0)
+        slot.release()
+        orphan = SharedBest(name)
+        assert orphan.read() == math.inf
+
+    def test_corrupted_shared_value_falls_back_to_local(self):
+        """A shard racing against a corrupted shared slot must produce
+        exactly the records of a shard with no shared bound at all."""
+        tuner = _make_tuner(workers=1, budget=12)
+        candidates = list(enumerate(tuner.candidates()))
+        base = _SearchPayload(
+            pipeline=tuner.pipeline,
+            spec=tuner.spec,
+            trace=tuner.trace,
+            profile=tuner.profile,
+            options=tuner.options,
+        )
+        clean = _evaluate_shard(base, candidates)
+        slot = self._slot()
+        try:
+            slot._segment.buf[:] = b"\xff" * len(slot._segment.buf)
+            corrupted = _SearchPayload(
+                pipeline=tuner.pipeline,
+                spec=tuner.spec,
+                trace=tuner.trace,
+                profile=tuner.profile,
+                options=tuner.options,
+                shared_best=slot,
+            )
+            raced = _evaluate_shard(corrupted, candidates)
+        finally:
+            slot.release()
+        assert [
+            (r.index, r.time_ms, r.note) for r in clean.records
+        ] == [(r.index, r.time_ms, r.note) for r in raced.records]
