@@ -124,6 +124,32 @@ def _arrival_spec(text):
     return text
 
 
+def _admission_spec(text):
+    """Argparse type for ``--admission``: validate the spec, keep the string."""
+    from .serve import AdmissionSpecError, parse_admission_spec
+
+    try:
+        parse_admission_spec(text)
+    except AdmissionSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _hysteresis_ratio(text):
+    """Argparse type for ``--retune``: a float ratio > 1."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a ratio > 1, got {text!r}"
+        ) from None
+    if not value > 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a ratio > 1, got {text!r}"
+        )
+    return value
+
+
 def _params(spec, args):
     return spec.default_params() if args.full else spec.quick_params()
 
@@ -501,6 +527,10 @@ def cmd_serve(args) -> int:
         window_ms=args.window_ms,
         full=args.full,
         batch_size=args.batch_size,
+        admission=args.admission,
+        max_batch=args.max_batch,
+        retune=args.retune,
+        retune_budget=args.retune_budget,
     )
     workers = args.workers or 1
     if args.trace_out:
@@ -822,6 +852,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="cap items per Stage.execute_batch call (default: unlimited)",
+    )
+    serve.add_argument(
+        "--admission",
+        type=_admission_spec,
+        default="none",
+        metavar="SPEC",
+        help="admission policy: none, drop-tail:CAP (shed when the "
+        "queued backlog reaches CAP) or slo-ewma[:MARGIN] (shed when "
+        "the EWMA-predicted latency exceeds MARGIN x the SLO; default "
+        "margin 1); default none",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="dynamic-batching ceiling: queue pops are clamped to a "
+        "deadline-aware size target in [1, N] (default: static "
+        "capacities)",
+    )
+    serve.add_argument(
+        "--retune",
+        type=_hysteresis_ratio,
+        default=None,
+        metavar="RATIO",
+        help="arm load-reactive re-tuning: re-run the offline tuner and "
+        "hot-swap the plan when the arrival-rate EWMA shifts past "
+        "RATIO (> 1) either way, or SLO attainment collapses "
+        "(default: off)",
+    )
+    serve.add_argument(
+        "--retune-budget",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="candidate budget for each mid-run re-tune search "
+        "(default: the tuner default)",
     )
     serve.add_argument(
         "--workers",

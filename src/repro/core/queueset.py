@@ -168,9 +168,14 @@ class SharedQueueSet(_QueueSetBase):
         )
         return batch, cost
 
-    def drain(self, stage: str) -> list[QueuedItem]:
+    def drain(
+        self, stage: str, max_items: Optional[int] = None
+    ) -> list[QueuedItem]:
         queue = self._queues[stage]
-        batch = queue.pop_batch(len(queue))
+        limit = len(queue)
+        if max_items is not None and max_items < limit:
+            limit = max_items
+        batch = queue.pop_batch(limit)
         if batch:
             depth = self.depth.pop(stage, len(batch))
             if self.bus is not None:
@@ -271,10 +276,19 @@ class DistributedQueueSet(_QueueSetBase):
                 self._emit_pop(stage, shard, len(batch), depth, stolen)
         return batch, cost
 
-    def drain(self, stage: str) -> list[QueuedItem]:
+    def drain(
+        self, stage: str, max_items: Optional[int] = None
+    ) -> list[QueuedItem]:
         items: list[QueuedItem] = []
         for shard_id, shard in self._shards[stage].items():
-            drained = shard.pop_batch(len(shard))
+            take = len(shard)
+            if max_items is not None:
+                remaining = max_items - len(items)
+                if remaining <= 0:
+                    break
+                if remaining < take:
+                    take = remaining
+            drained = shard.pop_batch(take)
             if drained:
                 depth = self.depth.pop(stage, len(drained))
                 if self.bus is not None:

@@ -168,6 +168,12 @@ class RunContext:
         #: ``None`` for batch runs: every hook below is a single ``is
         #: None`` test, so request tracing is zero-cost when off.
         self.request_tracker: Optional[RequestTracker] = None
+        #: Optional dynamic-batching governor ``(stage, cap) -> cap``
+        #: installed by the serving controller: every queue pop and KBK
+        #: drain offers its static capacity here and uses the (possibly
+        #: smaller, never larger) returned value.  ``None`` for batch
+        #: runs — one ``is None`` test per pop, zero-cost when off.
+        self.batch_governor: Optional[Callable[[str, int], int]] = None
 
     # ------------------------------------------------------------------
     # Queue-contention knob (set by the engine from the launch plan).
@@ -333,6 +339,37 @@ class RunContext:
             for watch in self._stage_watchers[stage]:
                 watch.outstanding += count
 
+    def release_arrivals(self, counts: dict[str, int]) -> None:
+        """Return unused arrival reservations (the inverse of
+        :meth:`expect_arrivals`).
+
+        The adaptive serving driver calls this when an admission policy
+        sheds an arrival (the request will never be delivered) or when a
+        pending plan swap defers the remaining schedule to the next
+        engine episode.  Dropping the reservations lets the persistent
+        blocks reach quiescence once the already-admitted work drains,
+        so the episode ends at a clean boundary.
+        """
+        for stage, count in counts.items():
+            if stage not in self.outstanding:
+                raise ConfigurationError(
+                    f"cannot release arrivals for unknown stage {stage!r}"
+                )
+            if count < 0:
+                raise ConfigurationError(
+                    f"arrival release for {stage!r} must be >= 0"
+                )
+            if count > self.outstanding[stage]:
+                raise ExecutionError(
+                    f"released more arrivals for {stage!r} than were "
+                    "reserved"
+                )
+            self.outstanding[stage] -= count
+            self.total_outstanding -= count
+            for watch in self._stage_watchers[stage]:
+                watch.outstanding -= count
+        self._check_quiescence()
+
     def deliver_arrival(self, stage: str, item: object) -> None:
         """Inject one previously reserved arrival into ``stage``'s queue.
 
@@ -489,9 +526,10 @@ class RunContext:
         """
         chosen = self._pick_queue(tuple(stages), waiter_key)
         if chosen is not None:
-            batch, cost = self.queue_set.pop(
-                chosen, capacity_fn(chosen), sm_id
-            )
+            cap = capacity_fn(chosen)
+            if self.batch_governor is not None:
+                cap = self.batch_governor(chosen, cap)
+            batch, cost = self.queue_set.pop(chosen, cap, sm_id)
             if batch:
                 if self.request_tracker is not None:
                     self.request_tracker.note_dequeued(
@@ -544,8 +582,18 @@ class RunContext:
         self._peek_waiters.append((tuple(stages), callback))
 
     def drain_stage(self, stage: str):
-        """Remove and return every queued item of ``stage`` (KBK waves)."""
-        drained = self.queue_set.drain(stage)
+        """Remove and return the queued items of ``stage`` (KBK waves).
+
+        With a batch governor installed the drain is clamped to the
+        governed capacity — an oversized wave is split across several
+        waves, keeping per-wave latency bounded under backlog.
+        """
+        limit: Optional[int] = None
+        if self.batch_governor is not None:
+            backlog = self._backlog.get(stage, 0)
+            if backlog:
+                limit = max(1, self.batch_governor(stage, backlog))
+        drained = self.queue_set.drain(stage, limit)
         if self.request_tracker is not None and drained:
             self.request_tracker.note_dequeued(
                 drained, self.device.engine.now
@@ -571,6 +619,7 @@ class RunContext:
         poll_cycles = self.device.spec.queue_poll_cycles
         schedule_call = self.device.engine.schedule_call
         tracker = self.request_tracker
+        governor = self.batch_governor
         woke = 0
         if len(tuples) == 1:
             dq = watch_deques[tuples[0]]
@@ -581,9 +630,10 @@ class RunContext:
                 if waiter.cancelled:
                     dq.popleft()
                     continue
-                batch, cost = queue_set.pop(
-                    stage, waiter.capacity_fn(stage), waiter.sm_id
-                )
+                cap = waiter.capacity_fn(stage)
+                if governor is not None:
+                    cap = governor(stage, cap)
+                batch, cost = queue_set.pop(stage, cap, waiter.sm_id)
                 if not batch:
                     break
                 if tracker is not None:
@@ -607,9 +657,10 @@ class RunContext:
                         best_dq = dq
                 if best is None:
                     break
-                batch, cost = queue_set.pop(
-                    stage, best.capacity_fn(stage), best.sm_id
-                )
+                cap = best.capacity_fn(stage)
+                if governor is not None:
+                    cap = governor(stage, cap)
+                batch, cost = queue_set.pop(stage, cap, best.sm_id)
                 if not batch:
                     break
                 if tracker is not None:

@@ -282,6 +282,37 @@ class RequestCompleted(Event):
     visits: int
 
 
+@dataclass(slots=True)
+class RequestShed(Event):
+    """An admission policy refused a request at arrival (serving mode).
+
+    The request never entered a queue: no span, no completion, no
+    latency sample — only this event and the report's shed counters.
+    """
+
+    kind: ClassVar[str] = "req_shed"
+
+    rid: int
+    stage: str
+
+
+@dataclass(slots=True)
+class ServeRetune(Event):
+    """The load-reactive controller hot-swapped the resident serve plan.
+
+    Emitted at the quiescent boundary between engine episodes; ``t`` is
+    the absolute serving clock (cycles since the run began, across
+    episodes).  ``old_plan``/``new_plan`` are
+    :meth:`~repro.core.config.PipelineConfig.describe` strings.
+    """
+
+    kind: ClassVar[str] = "serve_retune"
+
+    reason: str
+    old_plan: str
+    new_plan: str
+
+
 #: Event classes in a stable order (used by exporters and docs).
 EVENT_TYPES = (
     KernelLaunched,
@@ -300,4 +331,6 @@ EVENT_TYPES = (
     RequestArrived,
     RequestStageSpan,
     RequestCompleted,
+    RequestShed,
+    ServeRetune,
 )

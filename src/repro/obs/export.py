@@ -229,6 +229,36 @@ def chrome_trace(
                     "tid": event.rid,
                 }
             )
+        elif kind == "req_shed":
+            seen_requests = True
+            trace_events.append(
+                {
+                    "name": f"shed:{event.stage}",
+                    "cat": "request",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": to_us(event.t),
+                    "pid": REQUESTS_PID,
+                    "tid": event.rid,
+                }
+            )
+        elif kind == "serve_retune":
+            trace_events.append(
+                {
+                    "name": "serve-retune",
+                    "cat": "host",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": to_us(event.t),
+                    "pid": HOST_PID,
+                    "tid": 0,
+                    "args": {
+                        "reason": event.reason,
+                        "old_plan": event.old_plan,
+                        "new_plan": event.new_plan,
+                    },
+                }
+            )
         elif kind == "adaptation":
             trace_events.append(
                 {

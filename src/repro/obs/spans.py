@@ -36,7 +36,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from .events import EventBus, RequestArrived, RequestCompleted, RequestStageSpan
+from .events import (
+    EventBus,
+    RequestArrived,
+    RequestCompleted,
+    RequestShed,
+    RequestStageSpan,
+)
 
 
 class RequestItem:
@@ -103,6 +109,8 @@ class RequestTracker:
         self.spans: dict[int, RequestSpan] = {}
         self.completed: list[RequestSpan] = []
         self._pending: dict[int, int] = {}
+        #: Arrivals refused by an admission policy (serving mode).
+        self.shed_count = 0
 
     # ------------------------------------------------------------------
     # Lifecycle notifications (serving driver + run context).
@@ -113,6 +121,16 @@ class RequestTracker:
         self._pending[rid] = 0
         if self.bus is not None:
             self.bus.emit(RequestArrived(t=t, rid=rid, stage=stage))
+
+    def shed(self, rid: int, stage: str, t: float) -> None:
+        """An admission policy refused ``rid`` at arrival.
+
+        The request never enters a queue, so no span is opened; only
+        the shed counter moves (plus a ``req_shed`` event with a bus).
+        """
+        self.shed_count += 1
+        if self.bus is not None:
+            self.bus.emit(RequestShed(t=t, rid=rid, stage=stage))
 
     def note_enqueued(self, item: RequestItem, t: float) -> None:
         """One item entered a stage queue."""

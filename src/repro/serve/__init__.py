@@ -8,8 +8,10 @@ injects them into a resident hybrid pipeline
 (:mod:`~repro.serve.driver`), the streaming report with deterministic
 tail percentiles and SLO accounting (:mod:`~repro.serve.report`,
 :mod:`~repro.serve.slo`), and the sharded multi-workload harness
-(:mod:`~repro.serve.harness`).  The CLI front end is ``repro serve``;
-see ``docs/serving.md``.
+(:mod:`~repro.serve.harness`), and the load-adaptive control plane —
+admission control, dynamic batching and load-reactive re-tuning
+(:mod:`~repro.serve.controller`).  The CLI front end is ``repro
+serve``; see ``docs/serving.md``.
 """
 
 from __future__ import annotations
@@ -22,6 +24,15 @@ from .arrivals import (
     TraceArrivals,
     load_arrival_trace,
     parse_arrival_spec,
+)
+from .controller import (
+    ADMISSION_KINDS,
+    AdmissionSpecError,
+    BatchFormer,
+    LatencyPredictor,
+    RetuneController,
+    ServeController,
+    parse_admission_spec,
 )
 from .driver import (
     SERVE_MODELS,
@@ -38,23 +49,31 @@ from .report import (
     merge_serve_reports,
     run_meta,
 )
-from .slo import SLOTracker
+from .slo import MIXED_SLO_MS, SLOTracker
 
 __all__ = [
+    "ADMISSION_KINDS",
+    "MIXED_SLO_MS",
     "SERVE_MODELS",
     "SERVE_SCHEMA_VERSION",
+    "AdmissionSpecError",
     "ArrivalProcess",
     "ArrivalSpecError",
+    "BatchFormer",
     "BurstArrivals",
+    "LatencyPredictor",
     "PoissonArrivals",
     "RequestTaggingExecutor",
+    "RetuneController",
     "SLOTracker",
     "ServeConfig",
+    "ServeController",
     "ServeReport",
     "TraceArrivals",
     "build_serve_plan",
     "load_arrival_trace",
     "merge_serve_reports",
+    "parse_admission_spec",
     "parse_arrival_spec",
     "plan_serve",
     "retune_serve_plan",

@@ -17,7 +17,8 @@ Three processes are provided, selected by a compact spec string:
   starting in the base phase (each phase draws its own exponential
   gaps);
 * ``trace:FILE`` — replay recorded offsets from ``FILE`` (a JSON array
-  or one float per line, in ms; offsets past the horizon are dropped).
+  or one float per line, in ms; offsets must be finite, non-negative and
+  non-decreasing, and offsets past the horizon are dropped).
 
 All randomness flows through the caller's seeded :class:`random.Random`,
 so a given ``(spec, seed, duration)`` triple always produces the same
@@ -27,6 +28,7 @@ schedule on every host.
 from __future__ import annotations
 
 import json
+import math
 import random
 from dataclasses import dataclass
 
@@ -127,7 +129,15 @@ def _positive_rate(text: str, what: str) -> float:
 
 
 def load_arrival_trace(path: str) -> TraceArrivals:
-    """Read an arrival trace file: a JSON array or one offset per line."""
+    """Read an arrival trace file: a JSON array or one offset per line.
+
+    Every offset must be a finite, non-negative millisecond value and
+    the sequence must be non-decreasing (a recorded schedule is already
+    in arrival order — out-of-order offsets mean a corrupted or
+    mis-assembled file, so they are rejected rather than silently
+    re-sorted).  Raises :class:`ArrivalSpecError` naming the offending
+    position and value.
+    """
     try:
         with open(path) as handle:
             text = handle.read()
@@ -146,19 +156,34 @@ def load_arrival_trace(path: str) -> TraceArrivals:
     else:
         raw = stripped.split()
     offsets: list[float] = []
-    for entry in raw:
+    previous: float | None = None
+    for index, entry in enumerate(raw):
         try:
             value = float(entry)
         except (TypeError, ValueError):
             raise ArrivalSpecError(
-                f"arrival trace {path!r} has a non-numeric offset: {entry!r}"
+                f"arrival trace {path!r} has a non-numeric offset at "
+                f"position {index}: {entry!r}"
             ) from None
+        if not math.isfinite(value):
+            raise ArrivalSpecError(
+                f"arrival trace {path!r} has a non-finite offset at "
+                f"position {index}: {value}"
+            )
         if value < 0:
             raise ArrivalSpecError(
-                f"arrival trace {path!r} has a negative offset: {value}"
+                f"arrival trace {path!r} has a negative offset at "
+                f"position {index}: {value:g}"
             )
+        if previous is not None and value < previous:
+            raise ArrivalSpecError(
+                f"arrival trace {path!r} offsets must be non-decreasing: "
+                f"ms offset {value:g} at position {index} follows "
+                f"{previous:g}"
+            )
+        previous = value
         offsets.append(value)
-    return TraceArrivals(path=path, offsets=tuple(sorted(offsets)))
+    return TraceArrivals(path=path, offsets=tuple(offsets))
 
 
 def parse_arrival_spec(spec: str) -> ArrivalProcess:

@@ -47,6 +47,12 @@ from ..obs import Observer
 from ..obs.spans import RequestItem, RequestTracker
 from ..workloads.registry import WorkloadSpec, get_workload
 from .arrivals import ArrivalProcess, parse_arrival_spec
+from .controller import (
+    AdmissionSpecError,
+    BatchFormer,
+    ServeController,
+    parse_admission_spec,
+)
 from .report import ServeReport
 from .slo import SLOTracker
 
@@ -66,10 +72,18 @@ class RequestTaggingExecutor(Executor):
     so the simulated schedule matches a batch run of the same items.
     """
 
-    def __init__(self, inner: Executor) -> None:
+    def __init__(
+        self, inner: Executor, former: Optional[BatchFormer] = None
+    ) -> None:
         super().__init__(inner.pipeline)
         self.inner = inner
         self.batch_size = getattr(inner, "batch_size", None)
+        #: Optional dynamic batch former (adaptive serving): batches are
+        #: re-chunked to its current size target before execution.
+        self.batch_former = former
+        #: Live per-stage backlog ledger, bound per engine episode so
+        #: the former sees queue pressure at execution time.
+        self.stage_depth: Optional[dict[str, int]] = None
 
     def wrap_initial(self, stage: str, payload: object) -> object:
         raise ExecutionError(
@@ -90,6 +104,28 @@ class RequestTaggingExecutor(Executor):
         return result
 
     def run_batch(
+        self, stage: str, items: Sequence[RequestItem]
+    ) -> list[ExecResult]:
+        former = self.batch_former
+        if former is not None and len(items) > 1:
+            # Deadline-aware chunking: the former's target reflects the
+            # stage's *remaining* backlog plus this batch.  Chunked
+            # execution is observationally identical for the inner
+            # functional executor (pinned invariance), so this only
+            # shapes batch boundaries, never costs.
+            depth = self.stage_depth
+            queued = depth.get(stage, 0) if depth is not None else 0
+            target = former.target(stage, queued + len(items))
+            if 0 < target < len(items):
+                results: list[ExecResult] = []
+                for i in range(0, len(items), target):
+                    results.extend(
+                        self._run_chunk(stage, items[i : i + target])
+                    )
+                return results
+        return self._run_chunk(stage, items)
+
+    def _run_chunk(
         self, stage: str, items: Sequence[RequestItem]
     ) -> list[ExecResult]:
         results = self.inner.run_batch(
@@ -121,6 +157,17 @@ class ServeConfig:
     window_ms: float = 1.0
     full: bool = False
     batch_size: Optional[int] = None
+    #: Admission policy spec: ``none`` / ``drop-tail:CAP`` /
+    #: ``slo-ewma[:MARGIN]`` (see :mod:`repro.serve.controller`).
+    admission: str = "none"
+    #: Dynamic-batching ceiling; ``None`` keeps static pop capacities.
+    max_batch: Optional[int] = None
+    #: Load-reactive re-tune hysteresis ratio (> 1); ``None`` disables
+    #: mid-run re-tuning.
+    retune: Optional[float] = None
+    #: Candidate budget (``TunerOptions.max_configs``) for each mid-run
+    #: re-tune; ``None`` uses the tuner default.
+    retune_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.model not in SERVE_MODELS:
@@ -132,6 +179,28 @@ class ServeConfig:
             raise ConfigurationError("duration_ms must be > 0")
         if self.slo_ms <= 0:
             raise ConfigurationError("slo_ms must be > 0")
+        try:
+            parse_admission_spec(self.admission)
+        except AdmissionSpecError as exc:
+            raise ConfigurationError(str(exc)) from None
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.retune is not None and not self.retune > 1.0:
+            raise ConfigurationError(
+                "retune hysteresis ratio must be > 1"
+            )
+        if self.retune_budget is not None and self.retune_budget < 1:
+            raise ConfigurationError("retune_budget must be >= 1")
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when any control loop (admission, dynamic batching,
+        re-tuning) is armed — the driver then runs the episode path."""
+        return (
+            self.admission != "none"
+            or self.max_batch is not None
+            or self.retune is not None
+        )
 
 
 def build_serve_plan(
@@ -237,7 +306,14 @@ def serve_workload(
     :class:`ServeConfig` always produces a byte-identical
     :meth:`ServeReport.payload`.  Pass an :class:`~repro.obs.Observer`
     to also capture the flow-linked Chrome trace.
+
+    Configs with any control loop armed (admission control, dynamic
+    batching, re-tuning — see :attr:`ServeConfig.is_adaptive`) take the
+    episode-based adaptive path; static configs run the original PR 6
+    path unchanged.
     """
+    if config.is_adaptive:
+        return _serve_adaptive(config, observer, arrival)
     spec = get_workload(config.workload)
     gpu = get_spec(config.device)
     params = spec.default_params() if config.full else spec.quick_params()
@@ -322,6 +398,244 @@ def serve_workload(
             "(tracker/quiescence mismatch)"
         )
     report.elapsed_ms = device.elapsed_ms
+    return report
+
+
+class _EpisodeState:
+    """Mutable flags shared between one episode's fire callbacks."""
+
+    __slots__ = ("deferred_from", "reason")
+
+    def __init__(self) -> None:
+        self.deferred_from: Optional[int] = None
+        self.reason = ""
+
+
+def _retune_options(config: ServeConfig) -> TunerOptions:
+    """Tuner options for a mid-run re-tune inside a serving cell.
+
+    ``workers=1`` is mandatory: serving cells may themselves run inside
+    pool workers, and a nested pool would deadlock; the in-process
+    sequential search is also what keeps the swapped plan byte-identical
+    for any ``--workers`` count.
+    """
+    if config.retune_budget is not None:
+        return TunerOptions(workers=1, max_configs=config.retune_budget)
+    return TunerOptions(workers=1)
+
+
+def _serve_adaptive(
+    config: ServeConfig,
+    observer: Optional[Observer] = None,
+    arrival: Optional[ArrivalProcess] = None,
+) -> ServeReport:
+    """The load-adaptive serving path: engine episodes under control.
+
+    The arrival schedule is still drawn up front (open loop), but the
+    run is split into *episodes*, each a fresh engine instance executing
+    one resident plan:
+
+    * every arrival fire first consults the admission policy — a shed
+      request releases its reservation, is counted in the shed ledgers,
+      and never touches a queue;
+    * the dynamic batch former governs every queue pop through
+      ``RunContext.batch_governor``;
+    * when the re-tune watcher arms mid-episode, the remaining arrivals
+      are deferred (reservations released), the episode drains to its
+      natural quiescent boundary, :func:`retune_serve_plan` races a new
+      plan, and the next episode resumes the deferred schedule under it
+      with the serving clock carried forward.  Deferred requests keep
+      their true arrival times, so the drain-and-swap stall is charged
+      to their latencies, not hidden.
+
+    Everything is a deterministic function of the seeded schedule and
+    simulated state, so adaptive cells keep the byte-identical
+    ``--workers`` contract.
+    """
+    spec = get_workload(config.workload)
+    gpu = get_spec(config.device)
+    params = spec.default_params() if config.full else spec.quick_params()
+    pipeline = spec.build_pipeline(params)
+    if arrival is None:
+        arrival = parse_arrival_spec(config.arrival_spec)
+
+    plan = build_serve_plan(spec, pipeline, gpu, params, config.model)
+    plan_desc = plan.describe()
+    controller = ServeController(
+        admission=config.admission,
+        slo_ms=config.slo_ms,
+        window_ms=config.window_ms,
+        max_batch=config.max_batch,
+        retune_ratio=config.retune,
+    )
+
+    report = ServeReport(
+        label=f"{spec.name}/{config.model}/{gpu.name}",
+        workload=spec.name,
+        model=config.model,
+        device=gpu.name,
+        arrival=arrival.describe(),
+        duration_ms=config.duration_ms,
+        window_ms=config.window_ms,
+        arrivals=_window(config.window_ms),
+        completions=_window(config.window_ms),
+        good_completions=_window(config.window_ms),
+        sheds=_window(config.window_ms),
+        slo=SLOTracker(slo_ms=config.slo_ms),
+    )
+    cycles_to_ms = gpu.cycles_to_ms
+
+    rng = random.Random(config.seed)
+    times_ms = arrival.times(config.duration_ms, rng)
+    template = _entry_template(spec, params)
+    stage_bytes = {
+        stage: pipeline.stage(stage).item_bytes for stage, _ in template
+    }
+    arrive_cycles = [gpu.us_to_cycles(t * 1000.0) for t in times_ms]
+    n = len(times_ms)
+
+    def counts_from(lo: int) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for rid in range(lo, n):
+            stage, _ = template[rid % len(template)]
+            counts[stage] = counts.get(stage, 0) + 1
+        return counts
+
+    start = 0
+    base_cycles = 0.0
+    retuner = controller.retuner
+    while start < n:
+        device = GPUDevice(gpu)
+        if observer is not None:
+            observer.attach(device)
+        executor = RequestTaggingExecutor(
+            FunctionalExecutor(pipeline, batch_size=config.batch_size),
+            former=controller.former,
+        )
+        engine = HybridEngine(pipeline, device, executor, plan)
+        ctx = engine.ctx
+        controller.bind_episode(ctx)
+        executor.stage_depth = ctx.depth_series.current
+        base = base_cycles
+        episode = _EpisodeState()
+
+        def on_visit(
+            stage: str, wait_cycles: float, service_cycles: float
+        ) -> None:
+            wait_ms = cycles_to_ms(wait_cycles)
+            service_ms = cycles_to_ms(service_cycles)
+            report.observe_visit(stage, wait_ms, service_ms)
+            controller.predictor.note_visit(stage, wait_ms, service_ms)
+
+        def on_complete(span, base: float = base) -> None:
+            latency_ms = cycles_to_ms(span.latency_cycles)
+            t_abs_ms = cycles_to_ms(base + span.completion_t)
+            report.observe_complete(latency_ms, t_abs_ms)
+            controller.predictor.note_request(
+                {
+                    stage: totals.visits
+                    for stage, totals in span.stages.items()
+                }
+            )
+            if retuner is not None:
+                retuner.note(
+                    t_abs_ms,
+                    completion=True,
+                    good=latency_ms <= config.slo_ms,
+                )
+
+        tracker = RequestTracker(
+            bus=device.obs, on_visit=on_visit, on_complete=on_complete
+        )
+        ctx.request_tracker = tracker
+        ctx.expect_arrivals(counts_from(start))
+
+        def make_fire(
+            rid: int,
+            device: GPUDevice = device,
+            ctx=ctx,
+            tracker: RequestTracker = tracker,
+            episode: _EpisodeState = episode,
+            base: float = base,
+        ):
+            stage, payload = template[rid % len(template)]
+            at = arrive_cycles[rid]
+
+            def fire() -> None:
+                if episode.deferred_from is not None:
+                    return
+                if retuner is not None and retuner.pending is not None:
+                    # A re-tune is armed: defer this and every later
+                    # arrival to the next episode and let the engine
+                    # drain to the swap boundary.
+                    episode.deferred_from = rid
+                    episode.reason = retuner.pending
+                    ctx.release_arrivals(counts_from(rid))
+                    return
+                now_abs_ms = cycles_to_ms(base + device.engine.now)
+                if controller.should_shed():
+                    report.observe_arrival(cycles_to_ms(at))
+                    report.observe_shed(now_abs_ms)
+                    tracker.shed(rid, stage, device.engine.now)
+                    ctx.release_arrivals({stage: 1})
+                else:
+                    device.memcpy_h2d(stage_bytes[stage])
+                    # Arrival time is episode-local (negative when the
+                    # request arrived during the previous drain), so the
+                    # swap stall is charged to the deferred latency.
+                    tracker.begin(rid, stage, at - base)
+                    report.observe_arrival(cycles_to_ms(at))
+                    ctx.deliver_arrival(stage, RequestItem(rid, payload))
+                if retuner is not None and at >= base:
+                    # Catch-up replays of deferred arrivals (at < base)
+                    # are an artifact of the swap stall, not offered
+                    # load — only naturally-timed arrivals feed the
+                    # rate watcher.
+                    retuner.note(now_abs_ms, arrival=True)
+
+            return fire
+
+        for rid in range(start, n):
+            device.engine.schedule_at(
+                max(0.0, arrive_cycles[rid] - base), make_fire(rid)
+            )
+
+        engine.run({})
+        if tracker.in_flight:
+            raise ExecutionError(
+                f"{tracker.in_flight} request(s) never completed "
+                "(tracker/quiescence mismatch)"
+            )
+        base_cycles = base + max(device.engine.now, device.host_time)
+
+        if episode.deferred_from is None:
+            start = n
+        else:
+            start = episode.deferred_from
+            new_plan, _tuner_report = retune_serve_plan(
+                config, options=_retune_options(config)
+            )
+            new_desc = new_plan.describe()
+            swap_ms = cycles_to_ms(base_cycles)
+            report.observe_retune(
+                swap_ms, episode.reason, plan_desc, new_desc
+            )
+            if observer is not None:
+                from ..obs.events import ServeRetune
+
+                observer.bus.emit(
+                    ServeRetune(
+                        t=base_cycles,
+                        reason=episode.reason,
+                        old_plan=plan_desc,
+                        new_plan=new_desc,
+                    )
+                )
+            plan, plan_desc = new_plan, new_desc
+            if retuner is not None:
+                retuner.rearm(swap_ms)
+
+    report.elapsed_ms = cycles_to_ms(base_cycles)
     return report
 
 

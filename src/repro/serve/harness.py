@@ -23,38 +23,71 @@ cell to run serially in-process.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
+from ..core.errors import ConfigurationError
 from ..core.tuner.pool import default_workers, map_shards, stride_shards
 from .driver import ServeConfig, serve_workload
 from .report import ServeReport
+
+
+def _budget_for(
+    name: str, slo_ms: Union[float, Mapping[str, float]]
+) -> float:
+    """Resolve one workload's latency budget from a scalar or mapping."""
+    if isinstance(slo_ms, Mapping):
+        try:
+            return slo_ms[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no SLO budget for workload {name!r} (have "
+                f"{sorted(slo_ms)})"
+            ) from None
+    return slo_ms
 
 
 def plan_serve(
     workloads: Sequence[str],
     arrival_spec: str,
     duration_ms: float,
-    slo_ms: float,
+    slo_ms: Union[float, Mapping[str, float]],
     model: str = "versapipe",
     device: str = "k20c",
     seed: int = 0,
     window_ms: float = 1.0,
     full: bool = False,
     batch_size: Optional[int] = None,
+    admission: str = "none",
+    max_batch: Optional[int] = None,
+    retune: Optional[float] = None,
+    retune_budget: Optional[int] = None,
 ) -> list[ServeConfig]:
-    """The canonical serving plan: one cell per workload, in given order."""
+    """The canonical serving plan: one cell per workload, in given order.
+
+    ``slo_ms`` is either one budget shared by every cell or a mapping
+    of per-workload budgets (workloads differ by orders of magnitude in
+    service time, so one shared number mis-sizes most of them); a
+    mapping missing a planned workload raises
+    :class:`~repro.core.errors.ConfigurationError`.  The adaptive knobs
+    (``admission``, ``max_batch``, ``retune``, ``retune_budget``) apply
+    to every cell and default to the static PR 6 behaviour.
+    """
     return [
         ServeConfig(
             workload=name,
             arrival_spec=arrival_spec,
             duration_ms=duration_ms,
-            slo_ms=slo_ms,
+            slo_ms=_budget_for(name, slo_ms),
             model=model,
             device=device,
             seed=seed,
             window_ms=window_ms,
             full=full,
             batch_size=batch_size,
+            admission=admission,
+            max_batch=max_batch,
+            retune=retune,
+            retune_budget=retune_budget,
         )
         for name in workloads
     ]

@@ -27,7 +27,9 @@ from ..obs.hist import LogBucketHistogram, WindowSeries
 from .slo import SLOTracker
 
 #: Bumped whenever the ServeReport JSON layout changes shape.
-SERVE_SCHEMA_VERSION = 1
+#: v2: admission-control shed counts (``shed``, ``sheds`` window
+#: series, SLO ``shed``/``offered_attainment``) and the re-tune log.
+SERVE_SCHEMA_VERSION = 2
 
 #: Fixed fan-in of the serve-report reduction tree (mirrors the
 #: harness's ``_AGGREGATE_CHUNK``): chunk boundaries depend only on the
@@ -66,6 +68,9 @@ class ServeReport:
     window_ms: float = 1.0
     requests: int = 0
     completed: int = 0
+    #: Arrivals refused by the admission policy (requests - completed
+    #: for a fully drained adaptive run; 0 for static runs).
+    shed: int = 0
     #: Simulated wall-clock until the last request drained (ms).
     elapsed_ms: float = 0.0
     latency: LogBucketHistogram = field(default_factory=LogBucketHistogram)
@@ -74,7 +79,11 @@ class ServeReport:
     arrivals: WindowSeries = field(default_factory=WindowSeries)
     completions: WindowSeries = field(default_factory=WindowSeries)
     good_completions: WindowSeries = field(default_factory=WindowSeries)
+    sheds: WindowSeries = field(default_factory=WindowSeries)
     slo: SLOTracker = field(default_factory=lambda: SLOTracker(slo_ms=0.0))
+    #: One entry per mid-run plan swap: ``{"t_ms", "reason",
+    #: "old_plan", "new_plan"}`` in swap order.
+    retunes: list = field(default_factory=list)
     meta: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -102,6 +111,25 @@ class ServeReport:
         if latency_ms <= self.slo.slo_ms:
             self.good_completions.add(t_ms)
 
+    def observe_shed(self, t_ms: float) -> None:
+        """The admission policy refused one arrival at ``t_ms``."""
+        self.shed += 1
+        self.sheds.add(t_ms)
+        self.slo.observe_shed()
+
+    def observe_retune(
+        self, t_ms: float, reason: str, old_plan: str, new_plan: str
+    ) -> None:
+        """A load-reactive re-tune swapped the resident plan."""
+        self.retunes.append(
+            {
+                "t_ms": t_ms,
+                "reason": reason,
+                "old_plan": old_plan,
+                "new_plan": new_plan,
+            }
+        )
+
     # ------------------------------------------------------------------
     # Derived rates.
     # ------------------------------------------------------------------
@@ -120,6 +148,9 @@ class ServeReport:
         self.duration_ms += other.duration_ms
         self.requests += other.requests
         self.completed += other.completed
+        self.shed += other.shed
+        self.sheds.merge(other.sheds)
+        self.retunes.extend(other.retunes)
         if other.elapsed_ms > self.elapsed_ms:
             self.elapsed_ms = other.elapsed_ms
         self.latency.merge(other.latency)
@@ -157,6 +188,7 @@ class ServeReport:
             "window_ms": self.window_ms,
             "requests": self.requests,
             "completed": self.completed,
+            "shed": self.shed,
             "elapsed_ms": self.elapsed_ms,
             "throughput_per_ms": self.throughput_per_ms,
             "goodput_per_ms": self.goodput_per_ms,
@@ -171,7 +203,9 @@ class ServeReport:
             "arrivals": self.arrivals.to_dict(),
             "completions": self.completions.to_dict(),
             "good_completions": self.good_completions.to_dict(),
+            "sheds": self.sheds.to_dict(),
             "slo": self.slo.to_dict(),
+            "retunes": list(self.retunes),
         }
 
     def to_dict(self) -> dict:
@@ -198,6 +232,17 @@ class ServeReport:
                 else ")"
             ),
         ]
+        if self.shed:
+            lines.append(
+                f"  admission shed {self.shed} request(s) "
+                f"(offered attainment "
+                f"{self.slo.offered_attainment * 100:.1f}%)"
+            )
+        for swap in self.retunes:
+            lines.append(
+                f"  retune at {swap['t_ms']:.3f} ms: {swap['reason']} "
+                f"-> {swap['new_plan']}"
+            )
         for stage in sorted(self.stage_wait):
             wait = self.stage_wait[stage]
             service = self.stage_service[stage]
@@ -237,6 +282,7 @@ def merge_serve_reports(
     merged.arrivals.window_ms = first.window_ms
     merged.completions.window_ms = first.window_ms
     merged.good_completions.window_ms = first.window_ms
+    merged.sheds.window_ms = first.window_ms
     merged.slo.slo_ms = first.slo.slo_ms
     for report in items:
         merged.merge(report)

@@ -2,13 +2,19 @@
 
 An SLO here is a single end-to-end latency budget in milliseconds.  The
 tracker classifies every completed request as *good* (latency within
-budget) or a *violation*, and remembers when the first violation
-completed — the "time to first violation" that tells you how long a
-burst can be absorbed before the tail breaches the objective.
+budget) or a *violation*, counts arrivals an admission policy *shed*
+(refused at the door — they never completed and can never be good), and
+remembers when the first violation completed — the "time to first
+violation" that tells you how long a burst can be absorbed before the
+tail breaches the objective.
 
-Trackers merge exactly (sums plus a ``min``), so the harness can shard
-serving cells across workers and fold the partial trackers back into
-numbers identical to a serial run.
+Trackers merge exactly and associatively (sums plus a ``min``), so the
+harness can shard serving cells across workers and fold the partial
+trackers back into numbers identical to a serial run.  Cells with
+*different* budgets also merge: per-request classification already
+happened against each cell's own budget, so the counts stay exact, and
+the merged ``slo_ms`` becomes the :data:`MIXED_SLO_MS` sentinel to mark
+that no single budget describes the rollup.
 """
 
 from __future__ import annotations
@@ -16,14 +22,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+#: ``slo_ms`` sentinel of a tracker merged from cells with different
+#: budgets (per-workload SLOs): the counts are exact, but no single
+#: budget applies.
+MIXED_SLO_MS = -1.0
+
 
 @dataclass
 class SLOTracker:
-    """Good/violation accounting against one latency budget."""
+    """Good/violation/shed accounting against one latency budget."""
 
     slo_ms: float
     good: int = 0
     violations: int = 0
+    #: Arrivals refused by an admission policy (never executed).
+    shed: int = 0
     #: Completion time (ms) of the earliest violating request, if any.
     first_violation_ms: Optional[float] = None
 
@@ -38,14 +51,33 @@ class SLOTracker:
         ):
             self.first_violation_ms = completed_at_ms
 
+    def observe_shed(self) -> None:
+        self.shed += 1
+
     @property
     def completed(self) -> int:
         return self.good + self.violations
 
     @property
+    def offered(self) -> int:
+        """Requests that arrived: completed plus shed."""
+        return self.completed + self.shed
+
+    @property
     def attainment(self) -> float:
         """Fraction of completed requests that met the budget."""
         total = self.completed
+        return self.good / total if total else 1.0
+
+    @property
+    def offered_attainment(self) -> float:
+        """Fraction of *offered* requests that met the budget.
+
+        Sheds count against this (a refused request did not meet its
+        SLO), so an admission policy cannot inflate attainment by
+        shedding everything: the honest score is good over offered.
+        """
+        total = self.offered
         return self.good / total if total else 1.0
 
     def goodput_per_ms(self, duration_ms: float) -> float:
@@ -55,13 +87,21 @@ class SLOTracker:
         return self.good / duration_ms
 
     def merge(self, other: "SLOTracker") -> None:
-        if other.slo_ms != self.slo_ms and other.completed:
-            raise ValueError(
-                f"cannot merge SLOTracker with budget {other.slo_ms} ms "
-                f"into one with budget {self.slo_ms} ms"
-            )
+        """Fold ``other`` in (exact and associative).
+
+        Identical budgets keep the budget; a default-constructed
+        accumulator (``slo_ms == 0.0`` with no observations) adopts the
+        other side's; any other mismatch where the other side carries
+        observations yields the :data:`MIXED_SLO_MS` sentinel.
+        """
+        if other.slo_ms != self.slo_ms:
+            if self.slo_ms == 0.0 and self.offered == 0:
+                self.slo_ms = other.slo_ms
+            elif other.offered or other.slo_ms == MIXED_SLO_MS:
+                self.slo_ms = MIXED_SLO_MS
         self.good += other.good
         self.violations += other.violations
+        self.shed += other.shed
         if other.first_violation_ms is not None and (
             self.first_violation_ms is None
             or other.first_violation_ms < self.first_violation_ms
@@ -73,6 +113,8 @@ class SLOTracker:
             "slo_ms": self.slo_ms,
             "good": self.good,
             "violations": self.violations,
+            "shed": self.shed,
             "attainment": self.attainment,
+            "offered_attainment": self.offered_attainment,
             "first_violation_ms": self.first_violation_ms,
         }

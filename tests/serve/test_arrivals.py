@@ -51,15 +51,21 @@ class TestProcesses:
 class TestTraceFiles:
     def test_json_array_file(self, tmp_path):
         path = tmp_path / "arrivals.json"
-        path.write_text(json.dumps([3.0, 1.5, 0.25]))
+        path.write_text(json.dumps([0.25, 1.5, 3.0]))
         proc = load_arrival_trace(str(path))
         assert proc.offsets == (0.25, 1.5, 3.0)
 
     def test_line_oriented_file(self, tmp_path):
         path = tmp_path / "arrivals.txt"
-        path.write_text("2.0\n0.5\n7\n")
+        path.write_text("0.5\n2.0\n7\n")
         proc = load_arrival_trace(str(path))
         assert proc.offsets == (0.5, 2.0, 7.0)
+
+    def test_equal_offsets_allowed(self, tmp_path):
+        path = tmp_path / "arrivals.txt"
+        path.write_text("1.0\n1.0\n2.5\n")
+        proc = load_arrival_trace(str(path))
+        assert proc.offsets == (1.0, 1.0, 2.5)
 
     @pytest.mark.parametrize(
         "content,fragment",
@@ -68,12 +74,26 @@ class TestTraceFiles:
             ("[1, oops]", "not valid JSON"),
             ("abc", "non-numeric"),
             ("-1.0", "negative"),
+            ("[1.0, NaN]", "non-finite"),
+            ("[1.0, Infinity]", "non-finite"),
+            ("nan", "non-finite"),
+            ("inf", "non-finite"),
+            ("[3.0, 1.5]", "non-decreasing"),
+            ("2.0\n0.5\n", "non-decreasing"),
         ],
     )
     def test_bad_trace_content(self, tmp_path, content, fragment):
         path = tmp_path / "bad.txt"
         path.write_text(content)
         with pytest.raises(ArrivalSpecError, match=fragment):
+            load_arrival_trace(str(path))
+
+    def test_rejection_names_position_and_value(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1.0\n4.0\n2.5\n")
+        with pytest.raises(
+            ArrivalSpecError, match=r"2\.5 at position 2 follows 4"
+        ):
             load_arrival_trace(str(path))
 
     def test_missing_file(self, tmp_path):

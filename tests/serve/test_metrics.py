@@ -12,7 +12,7 @@ from repro.obs.hist import (
     _bucket_edges,
     _bucket_key,
 )
-from repro.serve.slo import SLOTracker
+from repro.serve.slo import MIXED_SLO_MS, SLOTracker
 
 
 class TestBucketing:
@@ -130,12 +130,50 @@ class TestSLOTracker:
         assert a.good == 1 and a.violations == 2
         assert a.first_violation_ms == 3.0
 
-    def test_merge_rejects_budget_mismatch(self):
+    def test_merge_mixed_budgets_poisons_slo_ms(self):
+        # Mixed-budget merges are legal (per-workload SLOs roll up into
+        # one fleet report): counts sum exactly, but the budget field
+        # becomes the MIXED_SLO_MS sentinel because no single number
+        # describes the merged cells.
         a = SLOTracker(slo_ms=5.0)
         b = SLOTracker(slo_ms=7.0)
+        a.observe(2.0, 1.0)
         b.observe(1.0, 1.0)
-        with pytest.raises(ValueError, match="budget"):
-            a.merge(b)
+        b.observe(9.0, 2.0)
+        a.merge(b)
+        assert a.slo_ms == MIXED_SLO_MS
+        assert a.good == 2 and a.violations == 1
+        assert a.completed == 3
+
+    def test_merge_adopts_budget_into_empty_default(self):
+        a = SLOTracker(slo_ms=0.0)
+        b = SLOTracker(slo_ms=7.0)
+        b.observe(1.0, 1.0)
+        a.merge(b)
+        assert a.slo_ms == 7.0
+        assert a.good == 1
+
+    def test_merge_mixed_is_sticky(self):
+        a = SLOTracker(slo_ms=5.0)
+        b = SLOTracker(slo_ms=7.0)
+        a.observe(2.0, 1.0)
+        b.observe(1.0, 1.0)
+        a.merge(b)
+        c = SLOTracker(slo_ms=5.0)
+        c.observe(3.0, 1.0)
+        a.merge(c)
+        assert a.slo_ms == MIXED_SLO_MS
+        assert a.completed == 3
+
+    def test_shed_accounting(self):
+        slo = SLOTracker(slo_ms=5.0)
+        slo.observe(2.0, 1.0)
+        slo.observe(9.0, 2.0)
+        slo.observe_shed()
+        assert slo.shed == 1
+        assert slo.offered == 3
+        assert slo.attainment == pytest.approx(0.5)
+        assert slo.offered_attainment == pytest.approx(1 / 3)
 
     def test_empty_tracker(self):
         slo = SLOTracker(slo_ms=5.0)
